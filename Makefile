@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test cover bench vet fmt paperbench fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The per-exhibit benchmark harness (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every table and figure of the paper (scale 1/400 ≈ minutes).
+paperbench:
+	$(GO) run ./cmd/paperbench
+
+# Short fuzz session over the parsers and the BCH decoder.
+fuzz:
+	$(GO) test -run=XXX -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/bch/
+	$(GO) test -run=XXX -fuzz FuzzReadText -fuzztime 10s ./internal/trace/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,370 @@
+package morphecc
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its exhibit through internal/experiments and prints
+// the same rows the paper reports (once, on the first iteration), plus
+// headline values as benchmark metrics. The default scale here is 1/2000
+// of the paper's 4-billion-instruction slices so `go test -bench=.`
+// completes in minutes; run cmd/paperbench with -scale for bigger runs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const benchScale = 2000
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+	benchSuiteErr  error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchSuiteOnce.Do(func() {
+		benchSuite, benchSuiteErr = experiments.NewSuite(experiments.Options{Scale: benchScale, Seed: 1})
+	})
+	if benchSuiteErr != nil {
+		b.Fatal(benchSuiteErr)
+	}
+	return benchSuite
+}
+
+// printOnce emits an exhibit's rows on the first iteration only.
+func printOnce(b *testing.B, i int, title, rendered string) {
+	b.Helper()
+	if i == 0 {
+		fmt.Printf("\n=== %s (scale 1/%d) ===\n%s", title, benchScale, rendered)
+	}
+}
+
+func BenchmarkTableI_FailureProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Table I: line/system failure probability", res.Rendered)
+		b.ReportMetric(float64(res.RequiredStrength), "required-ECC")
+	}
+}
+
+func BenchmarkTableII_SystemConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, "Table II: baseline system configuration", experiments.TableII())
+	}
+}
+
+func BenchmarkTableIII_WorkloadCharacterization(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Table III: benchmark characterization", res.Rendered)
+		b.ReportMetric(res.Rows[2].MPKI, "high-MPKI")
+	}
+}
+
+func BenchmarkTableIV_PowerParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, "Table IV: memory power parameters", experiments.TableIV())
+	}
+}
+
+func BenchmarkFig2_RetentionDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2()
+		printOnce(b, i, "Fig 2: retention-time distribution", res.Rendered)
+		b.ReportMetric(res.Slope, "loglog-slope")
+	}
+}
+
+func BenchmarkFig3_DecodeLatencyImpact(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 3: performance impact of ECC decode latency", res.Rendered)
+		b.ReportMetric(res.Groups[3].ECC6, "ECC6-all-normIPC")
+	}
+}
+
+func BenchmarkFig7_PerformanceComparison(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 7: SECDED / ECC-6 / MECC normalized IPC", res.Rendered)
+		all := res.Bars[len(res.Bars)-1]
+		b.ReportMetric(all.MECC, "MECC-all-normIPC")
+		b.ReportMetric(all.ECC6, "ECC6-all-normIPC")
+	}
+}
+
+func BenchmarkFig8_IdlePower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 8: refresh power and idle power breakdown", res.Rendered)
+		b.ReportMetric(res.Reduction, "idle-power-reduction")
+	}
+}
+
+func BenchmarkFig9_ActivePowerEnergyEDP(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 9: active-mode power / energy / EDP", res.Rendered)
+		b.ReportMetric(res.Rows[2].EDP, "MECC-EDP")
+	}
+}
+
+func BenchmarkFig10_TotalEnergy(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 10: total memory energy at 95% idle", res.Rendered)
+		b.ReportMetric(res.Saving, "MECC-total-saving")
+	}
+}
+
+func BenchmarkFig11_MDTEffectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 11: MDT-tracked memory per benchmark", res.Rendered)
+		b.ReportMetric(res.MeanTrackedMB, "mean-tracked-MB")
+	}
+}
+
+func BenchmarkFig12_DecodeLatencySensitivity(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 12: sensitivity to ECC-6 decode latency", res.Rendered)
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.MECC, "MECC-at-60cyc")
+	}
+}
+
+func BenchmarkFig13_TransitionTime(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 13: MECC warm-up transient vs slice length", res.Rendered)
+		if n := len(res.Rows); n > 0 {
+			b.ReportMetric(res.Rows[n-1].MECC, "MECC-final-normIPC")
+		}
+	}
+}
+
+func BenchmarkFig14_SelectiveMemoryDowngrade(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Fig 14: SMD downgrade-disabled time (MPKC=2)", res.Rendered)
+		b.ReportMetric(float64(res.NeverEnabled), "never-enabled")
+	}
+}
+
+func BenchmarkAblationMDTSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMDT(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: MDT region-count sweep", res.Rendered)
+	}
+}
+
+func BenchmarkAblationSMDThreshold(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSMDThreshold(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: SMD threshold sweep", res.Rendered)
+	}
+}
+
+func BenchmarkAblationRefreshSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRefreshSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: refresh period vs required ECC", res.Rendered)
+	}
+}
+
+func BenchmarkIntegrityMonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Integrity(2000, 0, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Integrity: end-to-end fault injection at paper BER", res.Rendered)
+		b.ReportMetric(float64(res.SilentCorruptions), "silent-corruptions")
+	}
+}
+
+func BenchmarkRelatedWorkVRT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RelatedWork(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Related work: refresh schemes under VRT", res.Rendered)
+	}
+}
+
+func BenchmarkRefreshModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RefreshModes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Refresh modes: power vs usable capacity", res.Rendered)
+	}
+}
+
+func BenchmarkAblationAddressMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMapping(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: address-interleaving policy", res.Rendered)
+	}
+}
+
+func BenchmarkAblationRefreshPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRefreshPolicy(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: all-bank REF vs per-bank REFpb", res.Rendered)
+	}
+}
+
+func BenchmarkAblationWeakCode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationWeakCode(1000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: weak-code choice under soft errors", res.Rendered)
+		b.ReportMetric(float64(res.Rows[0].Corrupted), "none-corrupted")
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationScheduler(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: memory-scheduler policy", res.Rendered)
+	}
+}
+
+func BenchmarkDayInTheLife(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DayInTheLife(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Day-in-the-life: usage pattern energy", res.Rendered)
+		b.ReportMetric(res.Rows[2].SavingPct, "MECC-saving-%")
+	}
+}
+
+func BenchmarkCapacityScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CapacityScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Capacity scaling: idle power vs memory size", res.Rendered)
+	}
+}
+
+func BenchmarkAblationTemperature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationTemperature()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: temperature vs required ECC at 1s refresh", res.Rendered)
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPrefetch(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: next-line prefetcher under MECC", res.Rendered)
+	}
+}
+
+func BenchmarkHiECCGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.HiECC()
+		printOnce(b, i, "Related work: Hi-ECC granularity trade-off", res.Rendered)
+	}
+}
+
+func BenchmarkDaemonStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Daemon(experiments.Options{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Daemon study: SMD under idle-period background activity", res.Rendered)
+	}
+}
+
+func BenchmarkModelValidation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ModelValidation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Model validation: simulator vs first-order theory", res.Rendered)
+		b.ReportMetric(res.MeanAbsErrPct, "mean-abs-err-%")
+	}
+}

@@ -1,0 +1,210 @@
+// Command meccsim runs one benchmark under one error-protection scheme
+// and prints the full figure-of-merit report.
+//
+// Usage:
+//
+//	meccsim -bench libq -scheme mecc [-scale 400] [-seed 1]
+//	        [-declat 30] [-smd] [-no-mdt] [-checkpoints 0]
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// openTrace opens a trace file as a streaming source; the returned
+// closer releases the file once the run completes.
+func openTrace(path, format string) (trace.Source, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open trace: %w", err)
+	}
+	closer := func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "meccsim: close trace:", cerr)
+		}
+	}
+	var reader io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			closer()
+			return nil, nil, fmt.Errorf("open gzip trace: %w", err)
+		}
+		reader = zr
+	}
+	switch format {
+	case "text":
+		recs, err := trace.ReadText(reader)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return trace.NewSliceSource(recs), closer, nil
+	case "bin":
+		br, err := trace.NewBinaryReader(reader)
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		return br, closer, nil
+	default:
+		closer()
+		return nil, nil, fmt.Errorf("unknown trace format %q", format)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "meccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench       = flag.String("bench", "libq", "benchmark name (see -list)")
+		schemeName  = flag.String("scheme", "mecc", "baseline | secded | ecc6 | mecc")
+		scale       = flag.Int("scale", 400, "divide the paper's 4B-instruction slice")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		decLat      = flag.Int("declat", 30, "ECC-6 decode latency in CPU cycles")
+		smd         = flag.Bool("smd", false, "enable Selective Memory Downgrade")
+		noMDT       = flag.Bool("no-mdt", false, "disable Memory Downgrade Tracking")
+		checkpoints = flag.Int64("checkpoints", 0, "record IPC every N instructions")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+		asJSON      = flag.Bool("json", false, "emit the result as JSON instead of text")
+		traceFile   = flag.String("trace", "", "replay this trace file instead of the synthetic generator (text or binary per -trace-format)")
+		traceFormat = flag.String("trace-format", "text", "text | bin")
+		ranks       = flag.Int("ranks", 1, "DRAM ranks on the channel")
+		mapping     = flag.String("mapping", "row-bank-col", "address interleave: row-bank-col | bank-row-col | xor")
+		closedPage  = flag.Bool("closed-page", false, "use the closed-page row policy")
+		fcfs        = flag.Bool("fcfs", false, "strict FCFS scheduling (disable row-hit-first)")
+		perBankRef  = flag.Bool("per-bank-refresh", false, "use LPDDR per-bank refresh (REFpb)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			p, err := workload.ByName(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-10s MPKI %5.1f  footprint %4d MB\n", n, p.Class(), p.MPKI, p.FootprintMB)
+		}
+		for _, p := range workload.Mobile() {
+			fmt.Printf("%-10s %-10s MPKI %5.1f  footprint %4d MB (mobile)\n", p.Name, p.Class(), p.MPKI, p.FootprintMB)
+		}
+		return nil
+	}
+	if *scale < 1 {
+		return fmt.Errorf("scale must be >= 1")
+	}
+	kind, err := sim.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		if prof, err = workload.MobileByName(*bench); err != nil {
+			return err
+		}
+	}
+	cfg := sim.DefaultConfig(kind, 4_000_000_000/int64(*scale))
+	cfg.Seed = *seed
+	cfg.StrongDecodeCycles = *decLat
+	cfg.DRAM.Ranks = *ranks
+	switch *mapping {
+	case "row-bank-col":
+		cfg.DRAM.Mapping = dram.MapRowBankCol
+	case "bank-row-col":
+		cfg.DRAM.Mapping = dram.MapBankRowCol
+	case "xor":
+		cfg.DRAM.Mapping = dram.MapRowXORBankCol
+	default:
+		return fmt.Errorf("unknown mapping %q", *mapping)
+	}
+	if *closedPage {
+		cfg.Ctrl.PagePolicy = memctrl.ClosedPage
+	}
+	cfg.Ctrl.FCFS = *fcfs
+	cfg.Ctrl.PerBankRefresh = *perBankRef
+	cfg.MECC.SMDEnabled = *smd
+	cfg.MECC.MDTEnabled = !*noMDT
+	cfg.MECC.SMDWindowCycles /= uint64(*scale)
+	if cfg.MECC.SMDWindowCycles == 0 {
+		cfg.MECC.SMDWindowCycles = 1
+	}
+	cfg.CheckpointEvery = *checkpoints
+
+	var res sim.Result
+	if *traceFile != "" {
+		src, closer, err := openTrace(*traceFile, *traceFormat)
+		if err != nil {
+			return err
+		}
+		defer closer()
+		runner, err := sim.NewRunnerWithSource(prof.Scaled(*scale), src, cfg)
+		if err != nil {
+			return err
+		}
+		if res, err = runner.Run(); err != nil {
+			return err
+		}
+	} else if res, err = sim.RunBenchmark(prof.Scaled(*scale), cfg); err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("benchmark        %s (%s)\n", res.Benchmark, prof.Class())
+	fmt.Printf("scheme           %s (strong decode %d cycles)\n", res.Scheme, *decLat)
+	fmt.Printf("instructions     %d (scale 1/%d)\n", res.Instructions, *scale)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("IPC              %.4f\n", res.IPC)
+	fmt.Printf("MPKI             %.2f\n", res.MPKI)
+	fmt.Printf("avg read latency %.1f CPU cycles (excl. decode)\n", res.AvgReadLatencyCPU)
+	ratio := cfg.DRAM.CPURatio()
+	fmt.Printf("read latency     p50 <= %d, p99 <= %d CPU cycles\n",
+		res.Ctrl.LatencyPercentile(0.50)*uint64(ratio),
+		res.Ctrl.LatencyPercentile(0.99)*uint64(ratio))
+	fmt.Printf("mem stall        %.1f%% of cycles\n", float64(res.MemStallCycles)/float64(res.Cycles)*100)
+	hits, misses := res.DRAM.RowHits, res.DRAM.RowMisses
+	if hits+misses > 0 {
+		fmt.Printf("row-buffer hits  %.1f%%\n", float64(hits)/float64(hits+misses)*100)
+	}
+	fmt.Printf("DRAM commands    ACT %d  RD %d  WR %d  REF %d\n",
+		res.DRAM.NACT, res.DRAM.NRD, res.DRAM.NWR, res.DRAM.NREF)
+	fmt.Printf("energy           DRAM %.3f mJ + codecs %.3f uJ\n",
+		res.Energy.Total()*1e3, res.ECCEnergyJ*1e6)
+	fmt.Printf("active power     %.1f mW over %.3f s\n", res.ActivePowerW*1e3, res.ActiveTimeSec)
+	fmt.Printf("EDP              %.3e J*s\n", res.EDP)
+	if res.MECC != nil {
+		m := res.MECC
+		fmt.Printf("MECC             strong reads %d, weak reads %d, downgrades %d\n",
+			m.StrongReads, m.WeakReads, m.Downgrades)
+		if m.ActiveCycles > 0 {
+			fmt.Printf("SMD              downgrade disabled %.1f%% of time (%d windows, %d enables)\n",
+				float64(m.DowngradeDisabledCycles)/float64(m.ActiveCycles)*100,
+				m.SMDWindows, m.SMDEnables)
+		}
+	}
+	for _, cp := range res.Checkpoints {
+		fmt.Printf("checkpoint       %12d instr  IPC %.4f\n", cp.Instructions, cp.IPC)
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows the paper reports.
+//
+// Usage:
+//
+//	paperbench [-experiment all|table1|table2|table3|table4|fig2|fig3|
+//	            fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
+//	            ablations|relatedwork|modes|capacity|day|integrity]
+//	           [-scale N] [-seed S] [-parallel P] [-chart]
+//
+// -scale divides the paper's 4-billion-instruction slices (footprints
+// and SMD windows shrink coherently); -scale 1 is the paper's full
+// scale and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "which exhibit to regenerate (comma-separated, or 'all')")
+		scale      = flag.Int("scale", 400, "divide the paper's 4B-instruction slices by this factor")
+		seed       = flag.Int64("seed", 1, "workload generator seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		trials     = flag.Int("integrity-trials", 5000, "Monte Carlo trials for -experiment integrity")
+		chart      = flag.Bool("chart", false, "render fig7 as an ASCII bar chart too")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table1   Table I: failure probability vs ECC strength (analytic)")
+		fmt.Println("table2   Table II: baseline system configuration")
+		fmt.Println("table3   Table III: benchmark characterization (simulated)")
+		fmt.Println("table4   Table IV: memory power parameters")
+		fmt.Println("fig2     retention-time distribution (analytic)")
+		fmt.Println("fig3     decode-latency performance impact by class")
+		fmt.Println("fig7     SECDED / ECC-6 / MECC normalized IPC (headline)")
+		fmt.Println("fig8     idle-mode refresh and total power (analytic)")
+		fmt.Println("fig9     active-mode power / energy / EDP")
+		fmt.Println("fig10    total energy at 95% idle")
+		fmt.Println("fig11    MDT-tracked memory per benchmark")
+		fmt.Println("fig12    ECC-6 decode-latency sensitivity sweep")
+		fmt.Println("fig13    MECC warm-up transient vs slice length")
+		fmt.Println("fig14    SMD downgrade-disabled time")
+		fmt.Println("ablations  MDT/SMD/refresh/mapping/REFpb/weak-code/scrub/scheduler/prefetch/temperature")
+		fmt.Println("relatedwork  RAIDR/Flikker/SECRET vs MECC under VRT; Hi-ECC granularity")
+		fmt.Println("modes    SR/PASR/DPD/MECC power vs capacity")
+		fmt.Println("capacity idle power and savings vs memory size")
+		fmt.Println("day      Fig 1 usage pattern through the phase simulator")
+		fmt.Println("daemon   Section VI-B idle-daemon study (SMD on/off)")
+		fmt.Println("model    simulator vs first-order CPI theory")
+		fmt.Println("integrity  end-to-end fault-injection Monte Carlo")
+		return nil
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+	ran := 0
+
+	section := func(title string) {
+		fmt.Printf("\n=== %s ===\n", title)
+	}
+
+	if selected("table1") {
+		ran++
+		res, err := experiments.TableI()
+		if err != nil {
+			return err
+		}
+		section("Table I: line and system failure probability (BER 10^-4.5, 64B lines, 1GB)")
+		fmt.Print(res.Rendered)
+		fmt.Printf("Required strength incl. soft-error margin: ECC-%d\n", res.RequiredStrength)
+	}
+	if selected("table2") {
+		ran++
+		section("Table II: baseline system configuration")
+		fmt.Print(experiments.TableII())
+	}
+	if selected("table3") {
+		ran++
+		start := time.Now()
+		res, err := experiments.TableIII(suite)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("Table III: benchmark characterization (measured, scale 1/%d, %v)", *scale, time.Since(start).Round(time.Millisecond)))
+		fmt.Print(res.Rendered)
+	}
+	if selected("table4") {
+		ran++
+		section("Table IV: memory power parameters")
+		fmt.Print(experiments.TableIV())
+	}
+	if selected("fig2") {
+		ran++
+		res := experiments.Fig2()
+		section(fmt.Sprintf("Fig 2: retention-time distribution (log-log slope %.2f)", res.Slope))
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig3") {
+		ran++
+		res, err := experiments.Fig3(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 3: performance impact of decode latency (normalized IPC)")
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig7") {
+		ran++
+		res, err := experiments.Fig7(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 7: SECDED / ECC-6 / MECC normalized IPC per benchmark")
+		fmt.Print(res.Rendered)
+		if *chart {
+			bc := stats.NewBarChart(50)
+			bc.SetReference(1.0)
+			for _, bar := range res.Bars {
+				bc.Add(bar.Name, "SECDED", bar.SECDED)
+				bc.Add(bar.Name, "ECC-6", bar.ECC6)
+				bc.Add(bar.Name, "MECC", bar.MECC)
+			}
+			fmt.Println()
+			fmt.Print(bc.String())
+		}
+	}
+	if selected("fig8") {
+		ran++
+		res, err := experiments.Fig8()
+		if err != nil {
+			return err
+		}
+		section("Fig 8: idle-mode refresh and total power (normalized to baseline)")
+		fmt.Print(res.Rendered)
+		fmt.Printf("Idle power reduction with MECC: %.1f%%\n", res.Reduction*100)
+	}
+	if selected("fig9") {
+		ran++
+		res, err := experiments.Fig9(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 9: active-mode power / energy / EDP (geomean, normalized)")
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig10") {
+		ran++
+		res, err := experiments.Fig10(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 10: total memory energy at 95% idle (normalized to baseline total)")
+		fmt.Print(res.Rendered)
+		fmt.Printf("Total memory energy saving with MECC: %.1f%%\n", res.Saving*100)
+	}
+	if selected("fig11") {
+		ran++
+		res, err := experiments.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		section("Fig 11: memory tracked by 1K-entry MDT (full footprints)")
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig12") {
+		ran++
+		res, err := experiments.Fig12(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 12: sensitivity to ECC-6 decode latency (normalized IPC)")
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig13") {
+		ran++
+		res, err := experiments.Fig13(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 13: MECC warm-up transient vs slice length")
+		fmt.Print(res.Rendered)
+	}
+	if selected("fig14") {
+		ran++
+		res, err := experiments.Fig14(suite)
+		if err != nil {
+			return err
+		}
+		section("Fig 14: SMD downgrade-disabled execution time (MPKC threshold 2)")
+		fmt.Print(res.Rendered)
+		fmt.Printf("Benchmarks never enabling ECC-Downgrade: %d of 28\n", res.NeverEnabled)
+	}
+	if selected("ablations") {
+		ran++
+		mdt, err := experiments.AblationMDT(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation: MDT region-count sweep")
+		fmt.Print(mdt.Rendered)
+
+		smd, err := experiments.AblationSMDThreshold(suite)
+		if err != nil {
+			return err
+		}
+		section("Ablation: SMD threshold sweep")
+		fmt.Print(smd.Rendered)
+
+		ref, err := experiments.AblationRefreshSweep()
+		if err != nil {
+			return err
+		}
+		section("Ablation: refresh period vs required ECC strength")
+		fmt.Print(ref.Rendered)
+
+		mapping, err := experiments.AblationMapping(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation: address-interleaving policy")
+		fmt.Print(mapping.Rendered)
+
+		policy, err := experiments.AblationRefreshPolicy(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation: all-bank REF vs per-bank REFpb")
+		fmt.Print(policy.Rendered)
+
+		weak, err := experiments.AblationWeakCode(2000, *seed)
+		if err != nil {
+			return err
+		}
+		section("Ablation: weak-code choice under active-mode soft errors")
+		fmt.Print(weak.Rendered)
+
+		scrub, err := experiments.ScrubTable()
+		if err != nil {
+			return err
+		}
+		section("Ablation: scrub interval (idle periods between corrections)")
+		fmt.Print(scrub)
+
+		sched, err := experiments.AblationScheduler(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation: memory-scheduler policy")
+		fmt.Print(sched.Rendered)
+
+		pf, err := experiments.AblationPrefetch(opts)
+		if err != nil {
+			return err
+		}
+		section("Ablation: next-line prefetcher (under MECC)")
+		fmt.Print(pf.Rendered)
+
+		temp, err := experiments.AblationTemperature()
+		if err != nil {
+			return err
+		}
+		section("Ablation: junction temperature vs required ECC at 1s refresh")
+		fmt.Print(temp.Rendered)
+	}
+	if selected("day") {
+		ran++
+		res, err := experiments.DayInTheLife(opts)
+		if err != nil {
+			return err
+		}
+		section("Day-in-the-life: Fig 1 usage pattern through the phase simulator")
+		fmt.Print(res.Rendered)
+	}
+	if selected("relatedwork") {
+		ran++
+		res, err := experiments.RelatedWork(*seed)
+		if err != nil {
+			return err
+		}
+		section("Related work (Section VII): refresh schemes under VRT")
+		fmt.Print(res.Rendered)
+
+		hi := experiments.HiECC()
+		section("Related work (Section VII-C): Hi-ECC granularity trade-off")
+		fmt.Print(hi.Rendered)
+	}
+	if selected("modes") {
+		ran++
+		res, err := experiments.RefreshModes()
+		if err != nil {
+			return err
+		}
+		section("Refresh modes (Section II-A): power vs usable capacity")
+		fmt.Print(res.Rendered)
+	}
+	if selected("daemon") {
+		ran++
+		res, err := experiments.Daemon(opts)
+		if err != nil {
+			return err
+		}
+		section("Daemon study (Section VI-B): SMD keeps slow refresh through background activity")
+		fmt.Print(res.Rendered)
+	}
+	if selected("model") {
+		ran++
+		res, err := experiments.ModelValidation(suite)
+		if err != nil {
+			return err
+		}
+		section("Model validation: simulator vs first-order CPI theory (ECC-6)")
+		fmt.Print(res.Rendered)
+	}
+	if selected("capacity") {
+		ran++
+		res, err := experiments.CapacityScaling()
+		if err != nil {
+			return err
+		}
+		section("Capacity scaling: idle power and MECC savings vs memory size")
+		fmt.Print(res.Rendered)
+	}
+	if selected("integrity") {
+		ran++
+		res, err := experiments.Integrity(*trials, 0, *seed)
+		if err != nil {
+			return err
+		}
+		section("Integrity: end-to-end fault injection through the real codecs")
+		fmt.Print(res.Rendered)
+	}
+
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

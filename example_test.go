@@ -1,0 +1,66 @@
+package morphecc_test
+
+import (
+	"fmt"
+
+	morphecc "repro"
+
+	"repro/internal/ecc"
+	"repro/internal/line"
+)
+
+// Encode a cache line for idle mode, corrupt it the way a slow-refreshed
+// DRAM would, and recover the data.
+func ExampleNewMorphableCodec() {
+	codec, err := morphecc.NewMorphableCodec()
+	if err != nil {
+		panic(err)
+	}
+	var data line.Line
+	data[0] = 0x1122334455667788
+
+	// Idle mode: strong ECC-6 protection, refresh slowed 16x.
+	spare := codec.Encode(data, ecc.ModeStrong)
+
+	// Six retention failures — the most ECC-6 guarantees to correct.
+	corrupted := data
+	for _, bit := range []int{3, 97, 202, 341, 419, 500} {
+		corrupted = corrupted.FlipBit(bit)
+	}
+
+	restored, ev := codec.Decode(corrupted, spare)
+	fmt.Println("mode:", ev.Mode)
+	fmt.Println("corrected:", ev.Result.CorrectedBits)
+	fmt.Println("intact:", restored == data)
+	// Output:
+	// mode: strong
+	// corrected: 6
+	// intact: true
+}
+
+// Simulate one benchmark under MECC at a reduced scale.
+func ExampleRun() {
+	res, err := morphecc.Run("libq", morphecc.MECC, morphecc.Options{Scale: 8000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("benchmark:", res.Benchmark)
+	fmt.Println("scheme:", res.Scheme)
+	fmt.Println("made progress:", res.IPC > 0.1)
+	// Output:
+	// benchmark: libq
+	// scheme: MECC
+	// made progress: true
+}
+
+// List the codecs available for the morphable layout.
+func ExampleCodecByName() {
+	c, err := morphecc.CodecByName("ecc6")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: corrects %d, stores %d bits per 64B line\n",
+		c.Name(), c.CorrectBits(), c.StorageBits())
+	// Output:
+	// ecc6: corrects 6, stores 60 bits per 64B line
+}

@@ -1,0 +1,120 @@
+// Ecclab explores the reliability design space behind the paper's
+// Table I: for a chosen refresh period it reports the modelled bit error
+// rate, the per-line and whole-memory failure probability at every ECC
+// strength, and the minimum code meeting a target system failure rate —
+// then validates the analytic pick with a fault-injection Monte Carlo
+// through the real BCH decoder.
+//
+// Run: go run ./examples/ecclab [-period 1s] [-target 1e-6] [-trials 5000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/ecc"
+	"repro/internal/line"
+	"repro/internal/reliability"
+	"repro/internal/retention"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecclab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		period = flag.Duration("period", time.Second, "refresh period to analyze")
+		target = flag.Float64("target", 1e-6, "acceptable system failure probability")
+		trials = flag.Int("trials", 5000, "Monte Carlo validation trials")
+		seed   = flag.Int64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+
+	model := retention.DefaultModel()
+	ber := model.BER(*period)
+	fmt.Printf("refresh period %v -> modelled BER %.3g (%.0f expected failed bits per 1GB)\n\n",
+		*period, ber, reliability.ExpectedFailedBits(ber, float64(uint64(8)<<30)))
+
+	if ber <= 0 || ber >= 1 {
+		return fmt.Errorf("period %v outside the model's useful range", *period)
+	}
+
+	fmt.Printf("%-8s %14s %18s\n", "ECC", "line failure", "system (1GB) fail")
+	for t := 0; t <= 6; t++ {
+		lf, err := reliability.LineFailure(reliability.DefaultLineBits, t, ber)
+		if err != nil {
+			return err
+		}
+		sf, err := reliability.SystemFailure(lf, reliability.DefaultMemoryLines)
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if sf < *target {
+			marker = "  <- meets target"
+		}
+		fmt.Printf("ECC-%-4d %14.3g %18.3g%s\n", t, lf, sf, marker)
+	}
+
+	req, err := reliability.RequiredStrength(
+		ber, reliability.DefaultLineBits, reliability.DefaultMemoryLines, *target, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nminimum strength incl. one soft-error margin level: ECC-%d\n", req)
+	if req > 6 {
+		fmt.Println("(beyond the 64-bit spare budget: shorten the refresh period)")
+		return nil
+	}
+
+	// Monte Carlo validation with the real codec.
+	codec, err := ecc.NewBCH(req, false)
+	if err != nil {
+		return err
+	}
+	inj := retention.NewInjector(*seed, ber)
+	rng := rand.New(rand.NewSource(*seed + 1))
+	failures := 0
+	injected := 0
+	for i := 0; i < *trials; i++ {
+		var data line.Line
+		for w := range data {
+			data[w] = rng.Uint64()
+		}
+		check := codec.Encode(data)
+		bad, badCheck := data, check
+		for _, pos := range inj.FlipPositions(line.Bits + codec.StorageBits()) {
+			injected++
+			if pos < line.Bits {
+				bad = bad.FlipBit(pos)
+			} else {
+				badCheck ^= uint64(1) << (pos - line.Bits)
+			}
+		}
+		got, res := codec.Decode(bad, badCheck)
+		if res.Uncorrectable || got != data {
+			failures++
+		}
+	}
+	fmt.Printf("\nMonte Carlo: %d lines at BER %.3g -> %d injected errors, %d uncorrected lines\n",
+		*trials, ber, injected, failures)
+	fmt.Printf("(analytic expectation: %.3g uncorrected lines)\n",
+		float64(*trials)*mustLineFailure(req, ber))
+	return nil
+}
+
+func mustLineFailure(t int, ber float64) float64 {
+	lf, err := reliability.LineFailure(reliability.DefaultLineBits, t, ber)
+	if err != nil {
+		// Unreachable: arguments were validated by the caller's flow.
+		panic(err)
+	}
+	return lf
+}

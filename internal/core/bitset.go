@@ -1,0 +1,51 @@
+package core
+
+import "math/bits"
+
+// bitset is a fixed-size bit vector used for the per-line ECC-mode table
+// (16M lines → 2 MB) and the MDT region table.
+type bitset struct {
+	words []uint64
+	n     uint64
+}
+
+func newBitset(n uint64) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitset) len() uint64 { return b.n }
+
+func (b *bitset) get(i uint64) bool {
+	return b.words[i>>6]>>(i&63)&1 == 1
+}
+
+func (b *bitset) set(i uint64, v bool) {
+	if v {
+		b.words[i>>6] |= 1 << (i & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (i & 63)
+	}
+}
+
+// setAll sets every bit to v.
+func (b *bitset) setAll(v bool) {
+	var fill uint64
+	if v {
+		fill = ^uint64(0)
+	}
+	for i := range b.words {
+		b.words[i] = fill
+	}
+}
+
+// count returns the number of set bits.
+func (b *bitset) count() uint64 {
+	var n int
+	for i, w := range b.words {
+		if uint64(i) == uint64(len(b.words)-1) && b.n%64 != 0 {
+			w &= (1 << (b.n % 64)) - 1
+		}
+		n += bits.OnesCount64(w)
+	}
+	return uint64(n)
+}

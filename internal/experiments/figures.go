@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/retention"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2Result carries the retention-time distribution curve.
+type Fig2Result struct {
+	// Periods and BERs are the sampled curve (log-spaced).
+	Periods []time.Duration
+	BERs    []float64
+	// Slope is the fitted log-log slope.
+	Slope    float64
+	Rendered string
+}
+
+// Fig2 samples the retention model over the paper's plotted range
+// (10 ms .. 100 s).
+func Fig2() Fig2Result {
+	m := retention.DefaultModel()
+	periods, bers := m.Curve(10*time.Millisecond, 100*time.Second, 21)
+	tb := stats.NewTable("Retention time (s)", "Bit failure probability")
+	for i := range periods {
+		tb.AddRow(periods[i].Seconds(), bers[i])
+	}
+	return Fig2Result{Periods: periods, BERs: bers, Slope: m.Slope(), Rendered: tb.String()}
+}
+
+// ClassIPC is one bar group of Fig. 3.
+type ClassIPC struct {
+	// Label is the class (or "ALL").
+	Label string
+	// SECDED and ECC6 are geomean IPCs normalized to baseline.
+	SECDED, ECC6 float64
+}
+
+// Fig3Result carries the decode-latency performance impact by class.
+type Fig3Result struct {
+	Groups   []ClassIPC
+	Rendered string
+}
+
+// Fig3 reproduces the motivation figure: normalized IPC of SECDED and
+// ECC-6 grouped by MPKI class.
+func Fig3(s *Suite) (Fig3Result, error) {
+	matrix, err := s.Matrix(sim.SchemeBaseline, sim.SchemeSECDED, sim.SchemeECC6)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	var out Fig3Result
+	tb := stats.NewTable("Class", "SECDED", "ECC-6")
+	groups := []struct {
+		label string
+		profs []workload.Profile
+	}{
+		{workload.LowMPKI.String(), workload.ByClass(workload.LowMPKI)},
+		{workload.MedMPKI.String(), workload.ByClass(workload.MedMPKI)},
+		{workload.HighMPKI.String(), workload.ByClass(workload.HighMPKI)},
+		{"ALL", workload.All()},
+	}
+	for _, g := range groups {
+		var nSec, nE6 []float64
+		for _, p := range g.profs {
+			base := matrix[p.Name][sim.SchemeBaseline].IPC
+			nSec = append(nSec, matrix[p.Name][sim.SchemeSECDED].IPC/base)
+			nE6 = append(nE6, matrix[p.Name][sim.SchemeECC6].IPC/base)
+		}
+		gs, err := stats.Geomean(nSec)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		ge, err := stats.Geomean(nE6)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		out.Groups = append(out.Groups, ClassIPC{Label: g.label, SECDED: gs, ECC6: ge})
+		tb.AddRow(g.label, gs, ge)
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}
+
+// BenchIPC is one benchmark's bar group in Fig. 7.
+type BenchIPC struct {
+	// Name is the benchmark ("ALL" for the geomean).
+	Name string
+	// SECDED, ECC6 and MECC are IPCs normalized to baseline.
+	SECDED, ECC6, MECC float64
+}
+
+// Fig7Result carries the headline performance comparison.
+type Fig7Result struct {
+	Bars     []BenchIPC
+	Rendered string
+}
+
+// Fig7 reproduces the paper's main performance figure: per-benchmark
+// normalized IPC for SECDED, ECC-6 and MECC plus the ALL geomean.
+func Fig7(s *Suite) (Fig7Result, error) {
+	matrix, err := s.Matrix(sim.SchemeBaseline, sim.SchemeSECDED, sim.SchemeECC6, sim.SchemeMECC)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	var out Fig7Result
+	tb := stats.NewTable("Benchmark", "Class", "SECDED", "ECC-6", "MECC")
+	var allSec, allE6, allMECC []float64
+	for _, p := range workload.All() {
+		base := matrix[p.Name][sim.SchemeBaseline].IPC
+		bar := BenchIPC{
+			Name:   p.Name,
+			SECDED: matrix[p.Name][sim.SchemeSECDED].IPC / base,
+			ECC6:   matrix[p.Name][sim.SchemeECC6].IPC / base,
+			MECC:   matrix[p.Name][sim.SchemeMECC].IPC / base,
+		}
+		out.Bars = append(out.Bars, bar)
+		allSec = append(allSec, bar.SECDED)
+		allE6 = append(allE6, bar.ECC6)
+		allMECC = append(allMECC, bar.MECC)
+		tb.AddRow(p.Name, p.Class().String(), bar.SECDED, bar.ECC6, bar.MECC)
+	}
+	gs, err := stats.Geomean(allSec)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	ge, err := stats.Geomean(allE6)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	gm, err := stats.Geomean(allMECC)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	out.Bars = append(out.Bars, BenchIPC{Name: "ALL", SECDED: gs, ECC6: ge, MECC: gm})
+	tb.AddRow("ALL", "", gs, ge, gm)
+	out.Rendered = tb.String()
+	return out, nil
+}
+
+// Fig8Result carries the idle-mode power comparison.
+type Fig8Result struct {
+	// RefreshNormalized is refresh power normalized to baseline for
+	// baseline/MECC/ECC-6 (left panel).
+	RefreshNormalized [3]float64
+	// IdleBreakdowns are the (refresh, background) splits normalized to
+	// baseline total idle power (right panel), same order.
+	IdleBreakdowns [3]power.IdleBreakdown
+	// Reduction is 1 - MECC idle power / baseline idle power.
+	Reduction float64
+	Rendered  string
+}
+
+// Fig8 computes idle-mode refresh and total power analytically from the
+// power model: baseline refreshes at 64 ms, MECC and ECC-6 at 1 s.
+func Fig8() (Fig8Result, error) {
+	calc, err := power.NewCalculator(power.DefaultParams(), dram.DefaultConfig())
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	base := calc.IdlePower(0)
+	slow := calc.IdlePower(4) // both MECC and ECC-6 use the 16x divider
+	var out Fig8Result
+	out.IdleBreakdowns = [3]power.IdleBreakdown{base, slow, slow}
+	out.RefreshNormalized = [3]float64{1, slow.RefreshW / base.RefreshW, slow.RefreshW / base.RefreshW}
+	out.Reduction = 1 - slow.Total()/base.Total()
+
+	tb := stats.NewTable("Scheme", "Refresh (norm)", "Background (norm)", "Total idle (norm)")
+	names := []string{"Baseline", "MECC", "ECC-6"}
+	for i, b := range out.IdleBreakdowns {
+		tb.AddRow(names[i], b.RefreshW/base.Total(), b.BackgroundW/base.Total(), b.Total()/base.Total())
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}
+
+// Fig9Row is one scheme's active-mode metrics.
+type Fig9Row struct {
+	Scheme sim.SchemeKind
+	// Power, Energy and EDP are geomeans normalized to baseline.
+	Power, Energy, EDP float64
+}
+
+// Fig9Result carries the active-mode power/energy/EDP comparison.
+type Fig9Result struct {
+	Rows     []Fig9Row
+	Rendered string
+}
+
+// Fig9 compares active-mode power, energy and energy-delay product for
+// baseline, ECC-6 and MECC (geomean over all benchmarks, normalized to
+// baseline).
+func Fig9(s *Suite) (Fig9Result, error) {
+	matrix, err := s.Matrix(sim.SchemeBaseline, sim.SchemeECC6, sim.SchemeMECC)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	var out Fig9Result
+	tb := stats.NewTable("Scheme", "Power", "Energy", "EDP")
+	for _, k := range []sim.SchemeKind{sim.SchemeBaseline, sim.SchemeECC6, sim.SchemeMECC} {
+		var pw, en, edp []float64
+		for _, p := range workload.All() {
+			base := matrix[p.Name][sim.SchemeBaseline]
+			r := matrix[p.Name][k]
+			pw = append(pw, r.ActivePowerW/base.ActivePowerW)
+			en = append(en, r.TotalEnergyJ()/base.TotalEnergyJ())
+			edp = append(edp, r.EDP/base.EDP)
+		}
+		gp, err := stats.Geomean(pw)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		ge, err := stats.Geomean(en)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		gd, err := stats.Geomean(edp)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		out.Rows = append(out.Rows, Fig9Row{Scheme: k, Power: gp, Energy: ge, EDP: gd})
+		tb.AddRow(k.String(), gp, ge, gd)
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}
+
+// Fig10Result carries the total memory-energy composition at 95% idle.
+type Fig10Result struct {
+	// ActiveJ and IdleJ are per-scheme energies over the usage period,
+	// normalized to the baseline total. Order: baseline, MECC, ECC-6.
+	ActiveJ, IdleJ [3]float64
+	// Saving is 1 - MECC total / baseline total.
+	Saving   float64
+	Rendered string
+}
+
+// Fig10 composes active power (measured, geomean across benchmarks) with
+// idle power (analytic) over a usage pattern that is 95% idle (the
+// paper's smartphone assumption) for a nominal 100-second period.
+func Fig10(s *Suite) (Fig10Result, error) {
+	matrix, err := s.Matrix(sim.SchemeBaseline, sim.SchemeECC6, sim.SchemeMECC)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	calc, err := power.NewCalculator(power.DefaultParams(), dram.DefaultConfig())
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	activePower := func(k sim.SchemeKind) (float64, error) {
+		var pw []float64
+		for _, p := range workload.All() {
+			pw = append(pw, matrix[p.Name][k].ActivePowerW)
+		}
+		return stats.Geomean(pw)
+	}
+	const idleFraction = 0.95
+	period := 100 * time.Second
+
+	schemes := []sim.SchemeKind{sim.SchemeBaseline, sim.SchemeMECC, sim.SchemeECC6}
+	dividers := []int{0, 4, 4}
+	var out Fig10Result
+	var totals [3]float64
+	for i, k := range schemes {
+		pw, err := activePower(k)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		a, idle := power.EnergyOver(period, idleFraction, pw, calc.IdlePower(dividers[i]))
+		out.ActiveJ[i] = a
+		out.IdleJ[i] = idle
+		totals[i] = a + idle
+	}
+	for i := range out.ActiveJ {
+		out.ActiveJ[i] /= totals[0]
+		out.IdleJ[i] /= totals[0]
+	}
+	out.Saving = 1 - (out.ActiveJ[1] + out.IdleJ[1])
+
+	tb := stats.NewTable("Scheme", "Active (norm)", "Idle (norm)", "Total (norm)")
+	names := []string{"Baseline", "MECC", "ECC-6"}
+	for i := range schemes {
+		tb.AddRow(names[i], out.ActiveJ[i], out.IdleJ[i], out.ActiveJ[i]+out.IdleJ[i])
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/multirate"
+	"repro/internal/power"
+	"repro/internal/reliability"
+	"repro/internal/retention"
+	"repro/internal/stats"
+)
+
+// RelatedWorkRow compares one refresh-reduction scheme (paper Section
+// VII) on refresh rate, idle power, and robustness to Variable Retention
+// Time.
+type RelatedWorkRow struct {
+	// Scheme names the proposal.
+	Scheme string
+	// RefreshRateNorm is refresh operations relative to all-64 ms.
+	RefreshRateNorm float64
+	// IdlePowerNorm is idle power relative to baseline self refresh.
+	IdlePowerNorm float64
+	// VRTSilentFailures is data-loss events out of VRTCells cells whose
+	// retention degraded below their assigned refresh period after
+	// profiling.
+	VRTSilentFailures int
+	// Requires summarizes the deployment cost.
+	Requires string
+}
+
+// RelatedWorkResult carries the Section VII comparison.
+type RelatedWorkResult struct {
+	// VRTCells is the injected VRT population size.
+	VRTCells int
+	Rows     []RelatedWorkRow
+	Rendered string
+}
+
+// RelatedWork reproduces the paper's qualitative Section VII argument
+// quantitatively: RAIDR/SECRET beat the baseline on refresh but lose
+// data silently when cells develop VRT after profiling; Flikker's
+// critical region caps its savings (Amdahl); MECC profiles nothing, so
+// VRT cells are just random errors inside its ECC-6 budget.
+func RelatedWork(seed int64) (RelatedWorkResult, error) {
+	const vrtCells = 1000
+	model := retention.DefaultModel()
+	cfg := dram.DefaultConfig()
+	calc, err := power.NewCalculator(power.DefaultParams(), cfg)
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+	// Idle power at a given normalized refresh rate: fixed background
+	// plus a refresh component proportional to the rate.
+	baseIdle := calc.IdlePower(0)
+	idleAt := func(rateNorm float64) float64 {
+		return (baseIdle.BackgroundW + baseIdle.RefreshW*rateNorm) / baseIdle.Total()
+	}
+	// VRT episode: cells degrade to 100 ms retention after profiling.
+	degraded := 100 * time.Millisecond
+
+	// RAIDR over the full 1 GB row population.
+	profile, err := multirate.SampleRowProfile(model, cfg.Banks*cfg.RowsPerBank, cfg.RowBytes*8, seed)
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+	raidr, err := multirate.NewRAIDR(profile, []time.Duration{
+		64 * time.Millisecond, 128 * time.Millisecond, 256 * time.Millisecond,
+	})
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+
+	flikker, err := multirate.NewFlikker(0.25, 64*time.Millisecond, time.Second)
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+	secret, err := multirate.NewSECRET(model, float64(cfg.CapacityBytes())*8, time.Second)
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+
+	// MECC: a VRT cell is one persistent extra error in its line; data
+	// is lost only if the line accumulates more than ECC-6 can correct.
+	// P(>=6 more errors among the remaining 575 bits at the slow-refresh
+	// BER) per affected line, summed over the population — and even then
+	// the extended code *detects* rather than silently corrupts.
+	perLine, err := reliability.LineFailure(reliability.DefaultLineBits-1, 5, retention.SlowBitErrorRate)
+	if err != nil {
+		return RelatedWorkResult{}, err
+	}
+	meccFailures := int(perLine * float64(vrtCells))
+
+	meccRate := 1.0 / 16
+	rows := []RelatedWorkRow{
+		{
+			Scheme:          "Baseline (64ms SR)",
+			RefreshRateNorm: 1,
+			IdlePowerNorm:   1,
+			Requires:        "-",
+		},
+		{
+			Scheme:            "RAIDR (64/128/256ms bins)",
+			RefreshRateNorm:   raidr.RefreshRateNorm(),
+			IdlePowerNorm:     idleAt(raidr.RefreshRateNorm()),
+			VRTSilentFailures: raidr.SilentFailuresUnderVRT(vrtCells, degraded, seed+1),
+			Requires:          "retention profiling",
+		},
+		{
+			Scheme:            "Flikker (1/4 critical)",
+			RefreshRateNorm:   flikker.RefreshRateNorm(),
+			IdlePowerNorm:     idleAt(flikker.RefreshRateNorm()),
+			VRTSilentFailures: 0, // errors are exposed by design, app-tolerated
+			Requires:          "source-code changes",
+		},
+		{
+			Scheme:            fmt.Sprintf("SECRET (%dK patched cells)", secret.PatchedCells/1000),
+			RefreshRateNorm:   secret.RefreshRateNorm(64 * time.Millisecond),
+			IdlePowerNorm:     idleAt(secret.RefreshRateNorm(64 * time.Millisecond)),
+			VRTSilentFailures: secret.SilentFailuresUnderVRT(vrtCells, degraded),
+			Requires:          "profiling + patch table",
+		},
+		{
+			Scheme:            "MECC (this paper)",
+			RefreshRateNorm:   meccRate,
+			IdlePowerNorm:     idleAt(meccRate),
+			VRTSilentFailures: meccFailures,
+			Requires:          "hardware only",
+		},
+	}
+
+	tb := stats.NewTable("Scheme", "Refresh rate", "Idle power", "VRT silent fails /1000", "Requires")
+	for _, r := range rows {
+		tb.AddRow(r.Scheme, r.RefreshRateNorm, r.IdlePowerNorm, r.VRTSilentFailures, r.Requires)
+	}
+	return RelatedWorkResult{VRTCells: vrtCells, Rows: rows, Rendered: tb.String()}, nil
+}
+
+// HiECCRow compares one protection granularity.
+type HiECCRow struct {
+	// Scheme names the design; GranularityB its code granularity.
+	Scheme       string
+	GranularityB int
+	// ParityBits is the BCH parity per code word; BitsPer64B amortizes
+	// it per cache line.
+	ParityBits int
+	BitsPer64B float64
+	// ReadOverfetch is lines fetched per demand line; WriteRMW marks
+	// read-modify-write on every write.
+	ReadOverfetch int
+	WriteRMW      bool
+}
+
+// HiECCResult carries the granularity comparison.
+type HiECCResult struct {
+	Rows     []HiECCRow
+	Rendered string
+}
+
+// bchParityBits returns the parity cost of a t-error-correcting binary
+// BCH code over dataBits data bits: t*m with the smallest m whose field
+// fits data plus parity.
+func bchParityBits(t, dataBits int) int {
+	for m := 4; m <= 20; m++ {
+		if dataBits+t*m <= (1<<m)-1 {
+			return t * m
+		}
+	}
+	return -1
+}
+
+// HiECC quantifies the Section VII-C comparison: Hi-ECC amortizes strong
+// ECC over 1 KB words, paying ~6x less storage than per-line ECC-6 but
+// overfetching 16 lines per demand access and turning every write into a
+// read-modify-write; MECC stays at line granularity inside the (72,64)
+// spare budget, so accesses stay 64 B.
+func HiECC() HiECCResult {
+	rows := []HiECCRow{
+		{
+			Scheme:        "MECC (per 64B line)",
+			GranularityB:  64,
+			ParityBits:    bchParityBits(6, 512),
+			ReadOverfetch: 1,
+			WriteRMW:      false,
+		},
+		{
+			Scheme:        "Hi-ECC (per 1KB)",
+			GranularityB:  1024,
+			ParityBits:    bchParityBits(6, 8192),
+			ReadOverfetch: 16,
+			WriteRMW:      true,
+		},
+	}
+	tb := stats.NewTable("Scheme", "Granularity", "Parity bits", "Bits per 64B", "Read overfetch", "Write RMW")
+	for i := range rows {
+		rows[i].BitsPer64B = float64(rows[i].ParityBits) * 64 / float64(rows[i].GranularityB)
+		tb.AddRow(rows[i].Scheme, fmt.Sprintf("%dB", rows[i].GranularityB), rows[i].ParityBits,
+			rows[i].BitsPer64B, rows[i].ReadOverfetch, rows[i].WriteRMW)
+	}
+	return HiECCResult{Rows: rows, Rendered: tb.String()}
+}

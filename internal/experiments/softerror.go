@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/line"
+	"repro/internal/memdata"
+	"repro/internal/stats"
+)
+
+// WeakCodeRow is one weak-code choice's outcome under active-mode soft
+// errors.
+type WeakCodeRow struct {
+	// WeakCode names the codec protecting downgraded lines.
+	WeakCode string
+	// StorageBits is the weak code's per-line cost.
+	StorageBits int
+	// Corrected, Detected and Corrupted classify the soft-error events.
+	Corrected, Detected, Corrupted int
+}
+
+// WeakCodeResult carries the weak-code soft-error study.
+type WeakCodeResult struct {
+	// Events is the number of injected single-bit soft errors per code.
+	Events   int
+	Rows     []WeakCodeRow
+	Rendered string
+}
+
+// AblationWeakCode justifies the paper's Section III-A choice of SECDED
+// over "no ECC" as the weak code: active-mode soft errors (alpha-strike
+// single-bit flips) silently corrupt unprotected downgraded lines, while
+// line SECDED corrects every one at the same 2-cycle latency. ECC-2 is
+// included as the next rung of the robustness-vs-storage ladder.
+func AblationWeakCode(events int, seed int64) (WeakCodeResult, error) {
+	if events <= 0 {
+		return WeakCodeResult{}, fmt.Errorf("%w: events=%d", ErrBadOptions, events)
+	}
+	strongOf := func() ecc.Codec {
+		s, err := ecc.NewBCH(6, false)
+		if err != nil {
+			// Unreachable: ECC-6 always constructs.
+			panic(err)
+		}
+		return s
+	}
+	weakCodes := []struct {
+		name  string
+		codec ecc.Codec
+	}{}
+	none := ecc.None{}
+	weakCodes = append(weakCodes, struct {
+		name  string
+		codec ecc.Codec
+	}{"none", none})
+	secded, err := ecc.NewLineSECDED()
+	if err != nil {
+		return WeakCodeResult{}, err
+	}
+	weakCodes = append(weakCodes, struct {
+		name  string
+		codec ecc.Codec
+	}{"secded-line", secded})
+	ecc2, err := ecc.NewBCH(2, false)
+	if err != nil {
+		return WeakCodeResult{}, err
+	}
+	weakCodes = append(weakCodes, struct {
+		name  string
+		codec ecc.Codec
+	}{"ecc2", ecc2})
+
+	out := WeakCodeResult{Events: events}
+	tb := stats.NewTable("Weak code", "Storage (bits)", "Corrected", "Detected", "SILENTLY CORRUPTED")
+	const memLines = 1 << 12
+	for _, wc := range weakCodes {
+		morph, err := ecc.NewMorphable(wc.codec, strongOf())
+		if err != nil {
+			return WeakCodeResult{}, err
+		}
+		mem, err := memdata.NewWithCodec(memLines, core.DefaultConfig(memLines), morph, seed)
+		if err != nil {
+			return WeakCodeResult{}, err
+		}
+		if err := mem.ExitIdle(0); err != nil {
+			return WeakCodeResult{}, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		row := WeakCodeRow{WeakCode: wc.name, StorageBits: wc.codec.StorageBits()}
+		now := uint64(0)
+		for e := 0; e < events; e++ {
+			now += 100
+			addr := uint64(rng.Intn(memLines))
+			var data line.Line
+			for w := range data {
+				data[w] = rng.Uint64()
+			}
+			if err := mem.Write(addr, data, now); err != nil {
+				return WeakCodeResult{}, err
+			}
+			// One soft-error flip in the stored (weak-encoded) data.
+			mem.InjectBitFlip(addr, rng.Intn(line.Bits))
+			now += 100
+			got, err := mem.Read(addr, now)
+			switch {
+			case err != nil:
+				row.Detected++
+			case got == data:
+				row.Corrected++
+			default:
+				row.Corrupted++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(wc.name, row.StorageBits, row.Corrected, row.Detected, row.Corrupted)
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}

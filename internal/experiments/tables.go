@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TableIResult carries Table I rows plus the derived design decision.
+type TableIResult struct {
+	// Rows are the analytic failure probabilities per ECC strength.
+	Rows []reliability.Row
+	// RequiredStrength is the minimum ECC meeting the 1-in-a-million
+	// bar plus one level of soft-error margin (the paper's ECC-6).
+	RequiredStrength int
+	// Rendered is the printable table.
+	Rendered string
+}
+
+// TableI reproduces the paper's Table I analytically.
+func TableI() (TableIResult, error) {
+	rows, err := reliability.TableI(
+		reliability.DefaultBER, reliability.DefaultLineBits, reliability.DefaultMemoryLines, 6)
+	if err != nil {
+		return TableIResult{}, err
+	}
+	req, err := reliability.RequiredStrength(
+		reliability.DefaultBER, reliability.DefaultLineBits, reliability.DefaultMemoryLines,
+		reliability.TargetSystemFailure, 1)
+	if err != nil {
+		return TableIResult{}, err
+	}
+	tb := stats.NewTable("ECC strength", "Line failure", "System (1GB) failure")
+	for _, r := range rows {
+		name := fmt.Sprintf("ECC-%d", r.T)
+		if r.T == 0 {
+			name = "No ECC"
+		}
+		tb.AddRow(name, r.LineFailure, r.SystemFailure)
+	}
+	return TableIResult{
+		Rows:             rows,
+		RequiredStrength: req,
+		Rendered:         tb.String(),
+	}, nil
+}
+
+// TableII renders the baseline system configuration.
+func TableII() string {
+	d := dram.DefaultConfig()
+	tb := stats.NewTable("Component", "Configuration")
+	tb.AddRow("Processor", "in-order core, 2-wide retire, 1.6 GHz")
+	tb.AddRow("Cache", "1MB LLC, 64B cache line")
+	tb.AddRow("Memory", fmt.Sprintf("%dMB LPDDR, %dMHz bus, 1 channel, 1 rank, %d banks",
+		d.CapacityBytes()>>20, d.ClockHz/1_000_000, d.Banks))
+	tb.AddRow("Row buffer", fmt.Sprintf("%d KB, %d rows/bank", d.RowBytes>>10, d.RowsPerBank))
+	tb.AddRow("ECC decode", "SECDED 2 cycles, ECC-6 30 cycles")
+	return tb.String()
+}
+
+// TableIIIRow is one class line of Table III.
+type TableIIIRow struct {
+	// Class is the MPKI bucket.
+	Class workload.Class
+	// IPC, MPKI and FootprintMB are the measured class averages
+	// (baseline scheme, no ECC latency).
+	IPC, MPKI, FootprintMB float64
+}
+
+// TableIIIResult carries the measured benchmark characterization.
+type TableIIIResult struct {
+	Rows     []TableIIIRow
+	PerBench []sim.Result
+	Rendered string
+}
+
+// TableIII measures the benchmark characterization under the baseline
+// (no-ECC) configuration and averages by class. Footprints are the
+// profile values (the paper counts unique 4 KB pages over the full 4 B
+// slice, which a scaled run cannot observe).
+func TableIII(s *Suite) (TableIIIResult, error) {
+	matrix, err := s.Matrix(sim.SchemeBaseline)
+	if err != nil {
+		return TableIIIResult{}, err
+	}
+	var out TableIIIResult
+	tb := stats.NewTable("Name", "IPC", "MPKI", "Footprint(MB)")
+	for _, class := range []workload.Class{workload.LowMPKI, workload.MedMPKI, workload.HighMPKI} {
+		profs := workload.ByClass(class)
+		var ipc, mpki, fp []float64
+		for _, p := range profs {
+			r := matrix[p.Name][sim.SchemeBaseline]
+			out.PerBench = append(out.PerBench, r)
+			ipc = append(ipc, r.IPC)
+			mpki = append(mpki, r.MPKI)
+			fp = append(fp, float64(p.FootprintMB))
+		}
+		mi, err := stats.Mean(ipc)
+		if err != nil {
+			return TableIIIResult{}, err
+		}
+		mm, err := stats.Mean(mpki)
+		if err != nil {
+			return TableIIIResult{}, err
+		}
+		mf, err := stats.Mean(fp)
+		if err != nil {
+			return TableIIIResult{}, err
+		}
+		row := TableIIIRow{Class: class, IPC: mi, MPKI: mm, FootprintMB: mf}
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(class.String(), row.IPC, row.MPKI, row.FootprintMB)
+	}
+	out.Rendered = tb.String()
+	return out, nil
+}
+
+// TableIV renders the memory power parameters.
+func TableIV() string {
+	p := power.DefaultParams()
+	tb := stats.NewTable("Parameter", "Value", "Description")
+	tb.AddRow("VDD", fmt.Sprintf("%.1f V", p.VDD), "Operating voltage")
+	tb.AddRow("IDD0", fmt.Sprintf("%.0f mA", p.IDD0), "1 bank active precharge current")
+	tb.AddRow("IDD2P", fmt.Sprintf("%.1f mA", p.IDD2P), "Precharge power-down standby current")
+	tb.AddRow("IDD3P", fmt.Sprintf("%.0f mA", p.IDD3P), "Active power-down standby current")
+	tb.AddRow("IDD4", fmt.Sprintf("%.0f mA", p.IDD4), "Burst read/write: 1 bank active")
+	tb.AddRow("IDD5", fmt.Sprintf("%.0f mA", p.IDD5), "Auto refresh")
+	tb.AddRow("IDD8", fmt.Sprintf("%.1f mA", p.IDD8), "Self refresh")
+	return tb.String()
+}

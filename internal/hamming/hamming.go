@@ -1,0 +1,190 @@
+// Package hamming implements single-error-correcting, double-error-
+// detecting (SECDED) Hamming codes: the classical (72,64) word-granularity
+// code of commodity ECC memories and the (523,512)-style line-granularity
+// code that MECC uses as its weak ECC (11 check bits per 64-byte line,
+// paper Section III-D).
+package hamming
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Errors returned by code construction and use.
+var (
+	ErrBadDataBits = errors.New("hamming: data bits must be in [1, 4096]")
+	ErrBadInput    = errors.New("hamming: input has wrong number of words")
+)
+
+// Result describes the outcome of a decode.
+type Result struct {
+	// CorrectedBits is 1 when a single-bit error (data, check or overall
+	// parity) was repaired, otherwise 0.
+	CorrectedBits int
+	// Uncorrectable is set when a double-bit error was detected.
+	Uncorrectable bool
+}
+
+// SECDED is a Hamming single-error-correcting code over dataBits bits,
+// extended with an overall parity bit for double-error detection. It is
+// immutable after construction and safe for concurrent use.
+type SECDED struct {
+	dataBits  int
+	checkBits int // Hamming check bits, excluding the overall parity bit
+	n         int // codeword length without the parity bit
+	dataPos   []uint32
+	posToData []int32 // codeword position -> data index, -1 for check bits
+}
+
+// NewSECDED constructs a SECDED code for the given number of data bits.
+// The total check overhead is CheckBits(): e.g. 8 for 64 data bits (the
+// (72,64) code) and 11 for 512 data bits (the MECC weak code).
+func NewSECDED(dataBits int) (*SECDED, error) {
+	if dataBits < 1 || dataBits > 4096 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, dataBits)
+	}
+	r := 2
+	for (1<<r)-r-1 < dataBits {
+		r++
+	}
+	n := dataBits + r
+	s := &SECDED{
+		dataBits:  dataBits,
+		checkBits: r,
+		n:         n,
+		dataPos:   make([]uint32, dataBits),
+		posToData: make([]int32, n+1),
+	}
+	idx := 0
+	for pos := 1; pos <= n; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit position
+			s.posToData[pos] = -1
+			continue
+		}
+		s.dataPos[idx] = uint32(pos)
+		s.posToData[pos] = int32(idx)
+		idx++
+	}
+	return s, nil
+}
+
+// DataBits returns the number of protected data bits.
+func (s *SECDED) DataBits() int { return s.dataBits }
+
+// CheckBits returns the total stored check width, including the overall
+// parity bit.
+func (s *SECDED) CheckBits() int { return s.checkBits + 1 }
+
+// getBit reads bit i from a little-endian word vector.
+func getBit(v []uint64, i int) uint64 { return (v[i>>6] >> (uint(i) & 63)) & 1 }
+
+// flipBit inverts bit i of a little-endian word vector in place.
+func flipBit(v []uint64, i int) { v[i>>6] ^= 1 << (uint(i) & 63) }
+
+func (s *SECDED) wordsNeeded() int { return (s.dataBits + 63) / 64 }
+
+// Encode computes the check word for data, given as ceil(dataBits/64)
+// little-endian words. Layout of the returned word: bits [0,checkBits) are
+// the Hamming check bits (bit j covers positions with bit j set), bit
+// checkBits is the overall parity over data and check bits.
+func (s *SECDED) Encode(data []uint64) (uint64, error) {
+	if len(data) != s.wordsNeeded() {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+	}
+	var synd uint32
+	ones := 0
+	for i := 0; i < s.dataBits; i++ {
+		if getBit(data, i) == 1 {
+			synd ^= s.dataPos[i]
+			ones++
+		}
+	}
+	check := uint64(synd)
+	ones += bits.OnesCount32(synd)
+	parity := uint64(ones) & 1
+	return check | parity<<s.checkBits, nil
+}
+
+// Decode verifies data against the stored check word, correcting a single
+// bit error in place (data is modified) and detecting double errors.
+func (s *SECDED) Decode(data []uint64, check uint64) (Result, error) {
+	if len(data) != s.wordsNeeded() {
+		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+	}
+	storedParity := (check >> s.checkBits) & 1
+	storedCheck := uint32(check & ((1 << s.checkBits) - 1))
+
+	var synd uint32
+	ones := 0
+	for i := 0; i < s.dataBits; i++ {
+		if getBit(data, i) == 1 {
+			synd ^= s.dataPos[i]
+			ones++
+		}
+	}
+	synd ^= storedCheck
+	ones += bits.OnesCount32(storedCheck)
+	parityErr := (uint64(ones)&1 != storedParity)
+
+	switch {
+	case synd == 0 && !parityErr:
+		return Result{}, nil
+	case synd == 0 && parityErr:
+		// The overall parity bit itself flipped; data is intact.
+		return Result{CorrectedBits: 1}, nil
+	case parityErr:
+		// Odd number of errors with nonzero syndrome: treat as single.
+		if int(synd) > s.n {
+			return Result{Uncorrectable: true}, nil
+		}
+		if di := s.posToData[synd]; di >= 0 {
+			flipBit(data, int(di))
+		}
+		// An error in a check-bit position needs no data repair.
+		return Result{CorrectedBits: 1}, nil
+	default:
+		// Nonzero syndrome with matching parity: double error.
+		return Result{Uncorrectable: true}, nil
+	}
+}
+
+// Word72 is the conventional (72,64) SECDED code applied to one 64-bit
+// word: 8 check bits per word, as in commodity ECC DIMMs. Eight of these
+// protect a 64-byte line at word granularity (Fig. 6(i) of the paper).
+type Word72 struct {
+	inner *SECDED
+}
+
+// NewWord72 constructs the (72,64) code.
+func NewWord72() (*Word72, error) {
+	inner, err := NewSECDED(64)
+	if err != nil {
+		return nil, err
+	}
+	if inner.CheckBits() != 8 {
+		return nil, fmt.Errorf("hamming: (72,64) check width = %d, want 8", inner.CheckBits())
+	}
+	return &Word72{inner: inner}, nil
+}
+
+// Encode returns the 8 check bits for one data word.
+func (w *Word72) Encode(data uint64) uint8 {
+	chk, err := w.inner.Encode([]uint64{data})
+	if err != nil {
+		// Unreachable: the slice length always matches.
+		panic(err)
+	}
+	return uint8(chk)
+}
+
+// Decode verifies one word, returning the corrected word.
+func (w *Word72) Decode(data uint64, check uint8) (uint64, Result) {
+	buf := []uint64{data}
+	res, err := w.inner.Decode(buf, uint64(check))
+	if err != nil {
+		// Unreachable: the slice length always matches.
+		panic(err)
+	}
+	return buf[0], res
+}

@@ -1,0 +1,250 @@
+package hamming
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckWidths(t *testing.T) {
+	tests := []struct {
+		dataBits, want int
+	}{
+		{64, 8},   // (72,64): the commodity DIMM code
+		{512, 11}, // the MECC weak code (paper: "we would need 11 bits")
+		{8, 5},
+		{4, 4},
+		{1, 3},
+	}
+	for _, tt := range tests {
+		s, err := NewSECDED(tt.dataBits)
+		if err != nil {
+			t.Fatalf("NewSECDED(%d): %v", tt.dataBits, err)
+		}
+		if got := s.CheckBits(); got != tt.want {
+			t.Errorf("CheckBits(%d data) = %d, want %d", tt.dataBits, got, tt.want)
+		}
+	}
+}
+
+func TestNewSECDEDRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -5, 5000} {
+		if _, err := NewSECDED(n); err == nil {
+			t.Errorf("NewSECDED(%d): want error", n)
+		}
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		data := make([]uint64, 8)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		chk, err := s.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := append([]uint64(nil), data...)
+		res, err := s.Decode(cp, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Uncorrectable || res.CorrectedBits != 0 {
+			t.Fatalf("clean decode: %+v", res)
+		}
+	}
+}
+
+func TestCorrectsEverySingleDataBit(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]uint64, 8)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	chk, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 512; pos++ {
+		cp := append([]uint64(nil), data...)
+		flipBit(cp, pos)
+		res, err := s.Decode(cp, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Uncorrectable || res.CorrectedBits != 1 {
+			t.Fatalf("pos %d: res=%+v", pos, res)
+		}
+		for w := range data {
+			if cp[w] != data[w] {
+				t.Fatalf("pos %d: data word %d not repaired", pos, w)
+			}
+		}
+	}
+}
+
+func TestCorrectsEverySingleCheckBit(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]uint64, 8)
+	data[0] = 0xfeedface
+	chk, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < s.CheckBits(); b++ {
+		cp := append([]uint64(nil), data...)
+		res, err := s.Decode(cp, chk^(1<<b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Uncorrectable || res.CorrectedBits != 1 {
+			t.Fatalf("check bit %d: res=%+v", b, res)
+		}
+		for w := range data {
+			if cp[w] != data[w] {
+				t.Fatalf("check bit %d corrupted data", b)
+			}
+		}
+	}
+}
+
+func TestDetectsDoubleErrors(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([]uint64, 8)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	chk, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		a := rng.Intn(512)
+		b := rng.Intn(512)
+		if a == b {
+			continue
+		}
+		cp := append([]uint64(nil), data...)
+		flipBit(cp, a)
+		flipBit(cp, b)
+		res, err := s.Decode(cp, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Uncorrectable {
+			t.Fatalf("double error (%d,%d) not detected: %+v", a, b, res)
+		}
+	}
+	// Mixed data+check double errors are detected too.
+	for trial := 0; trial < 100; trial++ {
+		cp := append([]uint64(nil), data...)
+		flipBit(cp, rng.Intn(512))
+		badChk := chk ^ (1 << rng.Intn(s.CheckBits()))
+		res, err := s.Decode(cp, badChk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Uncorrectable {
+			t.Fatal("data+check double error not detected")
+		}
+	}
+}
+
+func TestDecodeInputValidation(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Encode(make([]uint64, 3)); err == nil {
+		t.Error("Encode(short): want error")
+	}
+	if _, err := s.Decode(make([]uint64, 3), 0); err == nil {
+		t.Error("Decode(short): want error")
+	}
+}
+
+func TestWord72RoundTrip(t *testing.T) {
+	w, err := NewWord72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data uint64) bool {
+		chk := w.Encode(data)
+		got, res := w.Decode(data, chk)
+		return got == data && !res.Uncorrectable && res.CorrectedBits == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Word72 corrects any single flipped data bit.
+func TestWord72SingleBitProperty(t *testing.T) {
+	w, err := NewWord72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data uint64, pos uint8) bool {
+		p := int(pos) % 64
+		chk := w.Encode(data)
+		got, res := w.Decode(data^(1<<p), chk)
+		return got == data && res.CorrectedBits == 1 && !res.Uncorrectable
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Word72 detects any double data-bit error.
+func TestWord72DoubleBitProperty(t *testing.T) {
+	w, err := NewWord72()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data uint64, p1, p2 uint8) bool {
+		a, b := int(p1)%64, int(p2)%64
+		if a == b {
+			return true
+		}
+		chk := w.Encode(data)
+		_, res := w.Decode(data^(1<<a)^(1<<b), chk)
+		return res.Uncorrectable
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode512(b *testing.B) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]uint64, 8)
+	for i := range data {
+		data[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package line
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	b := make([]byte, Bytes)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	ln, err := FromBytes(b)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	got := ln.Bytes()
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], b[i])
+		}
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 65, 128} {
+		if _, err := FromBytes(make([]byte, n)); err == nil {
+			t.Errorf("FromBytes(%d bytes): want error, got nil", n)
+		}
+	}
+}
+
+func TestBitSetGet(t *testing.T) {
+	var ln Line
+	for _, i := range []int{0, 1, 63, 64, 100, 511} {
+		ln = ln.SetBit(i, 1)
+		if ln.Bit(i) != 1 {
+			t.Fatalf("bit %d: want 1", i)
+		}
+	}
+	if got := ln.PopCount(); got != 6 {
+		t.Fatalf("PopCount = %d, want 6", got)
+	}
+	ln = ln.SetBit(63, 0)
+	if ln.Bit(63) != 0 {
+		t.Fatal("bit 63: want 0 after clear")
+	}
+	if got := ln.PopCount(); got != 5 {
+		t.Fatalf("PopCount = %d, want 5", got)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	var ln Line
+	ln = ln.FlipBit(200)
+	if ln.Bit(200) != 1 {
+		t.Fatal("flip 0->1 failed")
+	}
+	ln = ln.FlipBit(200)
+	if !ln.IsZero() {
+		t.Fatal("flip 1->0 failed")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var a, b Line
+	b = b.FlipBit(3).FlipBit(64).FlipBit(511)
+	d := a.Diff(b)
+	want := []int{3, 64, 511}
+	if len(d) != len(want) {
+		t.Fatalf("Diff len = %d, want %d", len(d), len(want))
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Diff[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		var ln Line
+		for w := range ln {
+			ln[w] = rng.Uint64()
+		}
+		got, err := ParseHex(ln.String())
+		if err != nil {
+			t.Fatalf("ParseHex: %v", err)
+		}
+		if got != ln {
+			t.Fatalf("round trip mismatch: %v != %v", got, ln)
+		}
+	}
+}
+
+func TestParseHexErrors(t *testing.T) {
+	if _, err := ParseHex("zz"); err == nil {
+		t.Error("ParseHex(invalid hex): want error")
+	}
+	if _, err := ParseHex("ab"); err == nil {
+		t.Error("ParseHex(short): want error")
+	}
+}
+
+// Property: XOR is self-inverse and PopCount(a XOR a) == 0.
+func TestXORProperties(t *testing.T) {
+	f := func(a, b Line) bool {
+		if !a.XOR(a).IsZero() {
+			return false
+		}
+		return a.XOR(b).XOR(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff(a,b) positions are exactly the set bits of a XOR b.
+func TestDiffMatchesXOR(t *testing.T) {
+	f := func(a, b Line) bool {
+		d := a.Diff(b)
+		x := a.XOR(b)
+		if len(d) != x.PopCount() {
+			return false
+		}
+		for _, p := range d {
+			if x.Bit(p) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPopCount(b *testing.B) {
+	var ln Line
+	for w := range ln {
+		ln[w] = 0xdeadbeefcafebabe
+	}
+	for i := 0; i < b.N; i++ {
+		_ = ln.PopCount()
+	}
+}

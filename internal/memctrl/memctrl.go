@@ -1,0 +1,663 @@
+// Package memctrl implements the memory controller: read and write queues,
+// FR-FCFS open-page scheduling, write-drain watermarks, distributed
+// refresh, and the aggressive power-down policy of the paper's baseline
+// ("the scheduler issues a power-down command whenever it is possible",
+// Section IV-A). It owns all policy; legality is enforced by the dram
+// package.
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Errors returned by the controller.
+var (
+	ErrQueueFull = errors.New("memctrl: queue full")
+	ErrBadConfig = errors.New("memctrl: invalid configuration")
+)
+
+// PagePolicy selects the row-buffer management policy.
+type PagePolicy int
+
+// Page policies.
+const (
+	// OpenPage leaves rows open after column accesses, betting on row
+	// locality (the default; zero value).
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges a bank as soon as no queued request hits
+	// its open row, betting against locality.
+	ClosedPage
+)
+
+// String renders the policy name.
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open-page"
+	case ClosedPage:
+		return "closed-page"
+	default:
+		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	}
+}
+
+// Config holds controller policy parameters.
+type Config struct {
+	// ReadQueueCap and WriteQueueCap bound the queues (USIMM defaults).
+	ReadQueueCap, WriteQueueCap int
+	// WriteHighWater starts a write drain; WriteLowWater ends it.
+	WriteHighWater, WriteLowWater int
+	// PowerDownIdle is the number of idle DRAM cycles after which the
+	// controller powers the rank down (aggressive = small).
+	PowerDownIdle int
+	// RefreshEnabled turns distributed auto-refresh on.
+	RefreshEnabled bool
+	// PerBankRefresh uses LPDDR per-bank refresh (REFpb) instead of
+	// all-bank REF: each bank refreshes tREFI/banks apart, blocking only
+	// itself for the shorter tRFCpb.
+	PerBankRefresh bool
+	// MaxPostponedRefresh is how many tREFI intervals refresh may be
+	// deferred under load before it becomes urgent (JEDEC allows 8).
+	MaxPostponedRefresh int
+	// PagePolicy selects open- vs closed-page row management.
+	PagePolicy PagePolicy
+	// StarvationLimit caps how long (DRAM cycles) the oldest request may
+	// wait while younger row hits stream past it; beyond the limit the
+	// scheduler degrades to oldest-first until it is served. 0 disables.
+	StarvationLimit int
+	// FCFS disables the row-hit-first pass of FR-FCFS: requests issue
+	// strictly oldest-first (the scheduling-championship baseline).
+	FCFS bool
+}
+
+// DefaultConfig returns the baseline controller policy.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:        32,
+		WriteQueueCap:       32,
+		WriteHighWater:      20,
+		WriteLowWater:       8,
+		PowerDownIdle:       4,
+		RefreshEnabled:      true,
+		MaxPostponedRefresh: 8,
+		StarvationLimit:     500,
+	}
+}
+
+// Validate checks policy consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0:
+		return fmt.Errorf("%w: queue caps", ErrBadConfig)
+	case c.WriteHighWater <= c.WriteLowWater || c.WriteHighWater > c.WriteQueueCap:
+		return fmt.Errorf("%w: watermarks %d/%d", ErrBadConfig, c.WriteLowWater, c.WriteHighWater)
+	case c.PowerDownIdle < 0 || c.MaxPostponedRefresh < 0 || c.StarvationLimit < 0:
+		return fmt.Errorf("%w: negative policy value", ErrBadConfig)
+	}
+	return nil
+}
+
+// Request is one memory transaction.
+type Request struct {
+	// LineAddr is the cache-line address.
+	LineAddr uint64
+	// IsWrite distinguishes writebacks from demand reads.
+	IsWrite bool
+	// EnqueuedAt is the DRAM cycle of arrival.
+	EnqueuedAt uint64
+	// DoneAt is the DRAM cycle the data burst completed (reads only,
+	// valid in the completion callback).
+	DoneAt uint64
+	// Tag carries caller context through to the completion callback.
+	Tag uint64
+
+	coord dram.Coord
+	// missed records that this request drove a row activation, for
+	// row-buffer locality accounting.
+	missed bool
+}
+
+// Coord returns the request's decoded bank/row/column.
+func (r *Request) Coord() dram.Coord { return r.coord }
+
+// latencyBounds are the upper edges (DRAM cycles) of the read-latency
+// histogram buckets; the last bucket is unbounded.
+var latencyBounds = [...]uint64{10, 15, 20, 30, 50, 100, 200}
+
+// Stats accumulates controller-level metrics.
+type Stats struct {
+	// ReadsEnqueued, WritesEnqueued count accepted requests.
+	ReadsEnqueued  uint64 `json:"reads_enqueued"`
+	WritesEnqueued uint64 `json:"writes_enqueued"`
+	// ReadsDone counts completed reads.
+	ReadsDone uint64 `json:"reads_done"`
+	// TotalReadLatency sums read queuing+service latency in DRAM cycles.
+	TotalReadLatency uint64 `json:"total_read_latency"`
+	// RefreshesIssued counts REF commands (also visible in dram.Stats).
+	RefreshesIssued uint64 `json:"refreshes_issued"`
+	// PowerDownEntries counts PDE transitions.
+	PowerDownEntries uint64 `json:"power_down_entries"`
+	// WriteDrains counts drain-mode activations.
+	WriteDrains uint64 `json:"write_drains"`
+	// LatencyHist buckets read latencies at the latencyBounds edges
+	// (last bucket = beyond the largest bound).
+	LatencyHist [len(latencyBounds) + 1]uint64 `json:"latency_hist"`
+}
+
+// LatencyPercentile returns an upper bound on the given read-latency
+// percentile (0 < p <= 1) from the histogram, in DRAM cycles. The last
+// bucket returns the largest bound (the histogram cannot resolve its
+// interior).
+func (s Stats) LatencyPercentile(p float64) uint64 {
+	target := uint64(float64(s.ReadsDone) * p)
+	var cum uint64
+	for i, n := range s.LatencyHist {
+		cum += n
+		if cum >= target {
+			if i < len(latencyBounds) {
+				return latencyBounds[i]
+			}
+			break
+		}
+	}
+	return latencyBounds[len(latencyBounds)-1] + 1
+}
+
+// AvgReadLatency returns the mean read latency in DRAM cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.ReadsDone == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.ReadsDone)
+}
+
+// Controller schedules requests onto one DRAM channel. Not safe for
+// concurrent use.
+type Controller struct {
+	ch  *dram.Channel
+	cfg Config
+
+	readQ    []*Request
+	writeQ   []*Request
+	inflight []*Request
+
+	draining      bool
+	nextRefreshAt uint64
+	refreshShift  int
+	refreshBank   int
+	idleCycles    int
+
+	onReadDone func(*Request)
+	stats      Stats
+}
+
+// New builds a controller over a channel. onReadDone is invoked (possibly
+// zero or multiple times per Step) as read data bursts complete; it may be
+// nil.
+func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		ch:         ch,
+		cfg:        cfg,
+		readQ:      make([]*Request, 0, cfg.ReadQueueCap),
+		writeQ:     make([]*Request, 0, cfg.WriteQueueCap),
+		onReadDone: onReadDone,
+	}
+	c.nextRefreshAt = uint64(ch.Config().Timing.TREFI)
+	return c, nil
+}
+
+// Channel returns the underlying DRAM channel.
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// SetRefreshShift divides the auto-refresh rate by 2^shift — the MECC
+// refresh-rate modulation applied during active mode when SMD keeps the
+// memory fully ECC-6 protected (refresh interval tREFI << shift).
+func (c *Controller) SetRefreshShift(shift int) {
+	if shift < 0 {
+		shift = 0
+	}
+	c.refreshShift = shift
+}
+
+// refreshInterval returns the effective refresh interval in DRAM cycles:
+// per-bank refresh pulses come banks-times as often, each covering one
+// bank.
+func (c *Controller) refreshInterval() uint64 {
+	interval := uint64(c.ch.Config().Timing.TREFI) << c.refreshShift
+	if c.cfg.PerBankRefresh {
+		interval /= uint64(c.ch.Config().TotalBanks())
+		if interval == 0 {
+			interval = 1
+		}
+	}
+	return interval
+}
+
+// Stats returns a copy of controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// CanEnqueueRead reports whether the read queue has room.
+func (c *Controller) CanEnqueueRead() bool { return len(c.readQ) < c.cfg.ReadQueueCap }
+
+// CanEnqueueWrite reports whether the write queue has room.
+func (c *Controller) CanEnqueueWrite() bool { return len(c.writeQ) < c.cfg.WriteQueueCap }
+
+// EnqueueRead adds a demand read. The Tag is passed through to the
+// completion callback.
+func (c *Controller) EnqueueRead(lineAddr, tag uint64) error {
+	if !c.CanEnqueueRead() {
+		return fmt.Errorf("%w: read queue", ErrQueueFull)
+	}
+	// Read-after-write forwarding: a read that hits a queued write is
+	// served from the write queue without touching DRAM.
+	for _, w := range c.writeQ {
+		if w.LineAddr == lineAddr {
+			r := &Request{
+				LineAddr:   lineAddr,
+				EnqueuedAt: c.ch.Now(),
+				DoneAt:     c.ch.Now(),
+				Tag:        tag,
+			}
+			c.stats.ReadsEnqueued++
+			c.stats.ReadsDone++
+			if c.onReadDone != nil {
+				c.onReadDone(r)
+			}
+			return nil
+		}
+	}
+	r := &Request{
+		LineAddr:   lineAddr,
+		EnqueuedAt: c.ch.Now(),
+		Tag:        tag,
+		coord:      c.ch.Config().Decode(lineAddr),
+	}
+	c.readQ = append(c.readQ, r)
+	c.stats.ReadsEnqueued++
+	return nil
+}
+
+// EnqueueWrite adds a writeback.
+func (c *Controller) EnqueueWrite(lineAddr, tag uint64) error {
+	if !c.CanEnqueueWrite() {
+		return fmt.Errorf("%w: write queue", ErrQueueFull)
+	}
+	r := &Request{
+		LineAddr:   lineAddr,
+		IsWrite:    true,
+		EnqueuedAt: c.ch.Now(),
+		Tag:        tag,
+		coord:      c.ch.Config().Decode(lineAddr),
+	}
+	c.writeQ = append(c.writeQ, r)
+	c.stats.WritesEnqueued++
+	return nil
+}
+
+// Pending returns the number of requests queued or in flight.
+func (c *Controller) Pending() int {
+	return len(c.readQ) + len(c.writeQ) + len(c.inflight)
+}
+
+// Step advances the controller and channel by one DRAM cycle: completes
+// reads, manages refresh and power state, and issues at most one command.
+func (c *Controller) Step() {
+	c.completeReads()
+
+	hasWork := len(c.readQ) > 0 || len(c.writeQ) > 0 || c.refreshDue()
+
+	switch c.ch.State() {
+	case dram.StatePrechargePD, dram.StateActivePD:
+		if hasWork {
+			// Wake the rank; commands resume after tXP.
+			if err := c.ch.ExitPowerDown(); err != nil {
+				// Unreachable: state was checked.
+				panic(err)
+			}
+		}
+		c.ch.Tick()
+		return
+	case dram.StateSelfRefresh:
+		// Self refresh is entered/exited by the system layer, never
+		// autonomously here.
+		c.ch.Tick()
+		return
+	}
+
+	if !hasWork && len(c.inflight) == 0 {
+		// Closed-page: drain open rows before powering down.
+		if c.cfg.PagePolicy == ClosedPage && c.closeIdleRow() {
+			c.ch.Tick()
+			return
+		}
+		c.idleCycles++
+		if c.cfg.PowerDownIdle > 0 && c.idleCycles >= c.cfg.PowerDownIdle {
+			if err := c.ch.EnterPowerDown(); err == nil {
+				c.stats.PowerDownEntries++
+			}
+		}
+		c.ch.Tick()
+		return
+	}
+	c.idleCycles = 0
+
+	if !c.issueRefreshIfNeeded() {
+		c.issueBest()
+	}
+	c.ch.Tick()
+}
+
+// completeReads fires callbacks for finished data bursts.
+func (c *Controller) completeReads() {
+	now := c.ch.Now()
+	kept := c.inflight[:0]
+	for _, r := range c.inflight {
+		if r.DoneAt <= now {
+			lat := r.DoneAt - r.EnqueuedAt
+			c.stats.ReadsDone++
+			c.stats.TotalReadLatency += lat
+			bucket := len(latencyBounds)
+			for i, bound := range latencyBounds {
+				if lat <= bound {
+					bucket = i
+					break
+				}
+			}
+			c.stats.LatencyHist[bucket]++
+			if c.onReadDone != nil {
+				c.onReadDone(r)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.inflight = kept
+}
+
+func (c *Controller) refreshDue() bool {
+	return c.cfg.RefreshEnabled && c.ch.Now() >= c.nextRefreshAt
+}
+
+// refreshUrgent reports that refresh can no longer be postponed.
+func (c *Controller) refreshUrgent() bool {
+	if !c.cfg.RefreshEnabled {
+		return false
+	}
+	behind := int((c.ch.Now() - c.nextRefreshAt) / c.refreshInterval())
+	return c.ch.Now() >= c.nextRefreshAt && behind >= c.cfg.MaxPostponedRefresh
+}
+
+// issueRefreshIfNeeded handles the refresh state machine. It returns true
+// when it consumed this cycle's command slot.
+func (c *Controller) issueRefreshIfNeeded() bool {
+	if !c.refreshDue() {
+		return false
+	}
+	if c.cfg.PerBankRefresh {
+		return c.issuePerBankRefresh()
+	}
+	// Opportunistic: refresh immediately when idle; forced when urgent.
+	if !c.refreshUrgent() && (len(c.readQ) > 0 || len(c.writeQ) > 0) {
+		return false
+	}
+	if c.ch.CanREF() {
+		if err := c.ch.REF(); err != nil {
+			// Unreachable: CanREF was checked.
+			panic(err)
+		}
+		c.stats.RefreshesIssued++
+		c.nextRefreshAt += c.refreshInterval()
+		return true
+	}
+	// Close banks so REF can issue.
+	for b := 0; b < c.ch.Config().TotalBanks(); b++ {
+		if c.ch.AnyRowOpen(b) && c.ch.CanPRE(b) {
+			if err := c.ch.PRE(b); err != nil {
+				// Unreachable: CanPRE was checked.
+				panic(err)
+			}
+			return true
+		}
+	}
+	// Waiting on tRAS/tRP/tRFC; consume the slot only if urgent so that
+	// normal traffic continues otherwise.
+	return c.refreshUrgent()
+}
+
+// issuePerBankRefresh refreshes banks round-robin with REFpb. Because a
+// per-bank refresh blocks only its own bank, it is issued eagerly
+// whenever the target bank is free; the bank is force-precharged only
+// when refresh has become urgent.
+func (c *Controller) issuePerBankRefresh() bool {
+	bank := c.refreshBank
+	// Defer while demand traffic targets this bank, unless urgent — the
+	// per-bank advantage is refreshing banks the workload is not using.
+	if !c.refreshUrgent() && c.bankHasQueuedWork(bank) {
+		return false
+	}
+	if c.ch.CanREFpb(bank) {
+		if err := c.ch.REFpb(bank); err != nil {
+			// Unreachable: CanREFpb was checked.
+			panic(err)
+		}
+		c.stats.RefreshesIssued++
+		c.nextRefreshAt += c.refreshInterval()
+		c.refreshBank = (bank + 1) % c.ch.Config().TotalBanks()
+		return true
+	}
+	if !c.refreshUrgent() {
+		return false
+	}
+	if c.ch.AnyRowOpen(bank) && c.ch.CanPRE(bank) {
+		if err := c.ch.PRE(bank); err != nil {
+			// Unreachable: CanPRE was checked.
+			panic(err)
+		}
+		return true
+	}
+	return true // urgent: hold the slot until the bank frees up
+}
+
+// bankHasQueuedWork reports whether any queued or in-flight request
+// targets the bank.
+func (c *Controller) bankHasQueuedWork(bank int) bool {
+	for _, r := range c.readQ {
+		if r.coord.Bank == bank {
+			return true
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.coord.Bank == bank {
+			return true
+		}
+	}
+	return false
+}
+
+// activeQueue picks reads or writes. A forced drain (entered at the high
+// watermark) is sticky down to the low watermark; otherwise writes are
+// issued only opportunistically, when no read is waiting, so that the
+// blocking-load core never sits behind a write burst it didn't force.
+func (c *Controller) activeQueue() []*Request {
+	if c.draining {
+		if len(c.writeQ) <= c.cfg.WriteLowWater {
+			c.draining = false
+		} else {
+			return c.writeQ
+		}
+	}
+	if len(c.writeQ) >= c.cfg.WriteHighWater {
+		c.draining = true
+		c.stats.WriteDrains++
+		return c.writeQ
+	}
+	if len(c.readQ) > 0 {
+		return c.readQ
+	}
+	if len(c.inflight) == 0 && len(c.writeQ) > 0 {
+		return c.writeQ
+	}
+	return nil
+}
+
+// closeIdleRow precharges one open row that no queued request hits. It
+// returns true when a PRE was issued.
+func (c *Controller) closeIdleRow() bool {
+	for b := 0; b < c.ch.Config().TotalBanks(); b++ {
+		if !c.ch.AnyRowOpen(b) || !c.ch.CanPRE(b) {
+			continue
+		}
+		row := c.ch.OpenRow(b)
+		if hitsOpenRow(c.readQ, row, b) || hitsOpenRow(c.writeQ, row, b) {
+			continue
+		}
+		if err := c.ch.PRE(b); err != nil {
+			// Unreachable: CanPRE was checked.
+			panic(err)
+		}
+		return true
+	}
+	return false
+}
+
+// issueBest implements FR-FCFS with an open-page policy over the active
+// queue: ready column accesses first (oldest row hit), then the oldest
+// request's ACT or PRE. With FCFS only the oldest request is considered;
+// with ClosedPage, otherwise-idle slots precharge unneeded rows.
+func (c *Controller) issueBest() {
+	q := c.activeQueue()
+	if c.cfg.FCFS && len(q) > 1 {
+		q = q[:1]
+	}
+	// Anti-starvation: when the oldest request has waited past the
+	// limit, stop letting younger row hits overtake it.
+	if lim := c.cfg.StarvationLimit; lim > 0 && len(q) > 1 &&
+		c.ch.Now() > q[0].EnqueuedAt+uint64(lim) {
+		q = q[:1]
+	}
+	if len(q) == 0 {
+		if c.cfg.PagePolicy == ClosedPage {
+			c.closeIdleRow()
+		}
+		return
+	}
+
+	// Pass 1: oldest ready row-hit column command.
+	for _, r := range q {
+		if !c.ch.RowOpen(r.coord.Bank, r.coord.Row) {
+			continue
+		}
+		if r.IsWrite {
+			if c.ch.CanWR(r.coord.Bank, r.coord.Row) {
+				if _, err := c.ch.WR(r.coord.Bank, r.coord.Row); err != nil {
+					// Unreachable: CanWR was checked.
+					panic(err)
+				}
+				c.ch.NoteRowHit(!r.missed)
+				c.removeWrite(r)
+				return
+			}
+		} else if c.ch.CanRD(r.coord.Bank, r.coord.Row) {
+			done, err := c.ch.RD(r.coord.Bank, r.coord.Row)
+			if err != nil {
+				// Unreachable: CanRD was checked.
+				panic(err)
+			}
+			c.ch.NoteRowHit(!r.missed)
+			r.DoneAt = done
+			c.removeRead(r)
+			c.inflight = append(c.inflight, r)
+			return
+		}
+	}
+
+	// Pass 2: for the oldest request per bank, open its row (ACT) or
+	// close a conflicting one (PRE), provided no queued request still
+	// hits the open row.
+	seen := make(map[int]bool, c.ch.Config().TotalBanks())
+	for _, r := range q {
+		b := r.coord.Bank
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		switch {
+		case !c.ch.AnyRowOpen(b):
+			if c.ch.CanACT(b) {
+				if err := c.ch.ACT(b, r.coord.Row); err != nil {
+					// Unreachable: CanACT was checked.
+					panic(err)
+				}
+				r.missed = true
+				return
+			}
+		case c.ch.OpenRow(b) != r.coord.Row:
+			if hitsOpenRow(q, c.ch.OpenRow(b), b) {
+				continue // a younger same-queue request still wants this row
+			}
+			if c.ch.CanPRE(b) {
+				if err := c.ch.PRE(b); err != nil {
+					// Unreachable: CanPRE was checked.
+					panic(err)
+				}
+				return
+			}
+		}
+	}
+	// Nothing issued this cycle: closed-page policy uses the slot to
+	// retire open rows that no longer have takers.
+	if c.cfg.PagePolicy == ClosedPage {
+		c.closeIdleRow()
+	}
+}
+
+// hitsOpenRow reports whether any request in q hits the bank's open row.
+// Only the queue currently being scheduled is consulted: deferring a
+// precharge for a request in the *other* queue would deadlock, since that
+// request cannot issue while this queue has priority.
+func hitsOpenRow(q []*Request, row, bank int) bool {
+	for _, r := range q {
+		if r.coord.Bank == bank && r.coord.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) removeRead(r *Request) {
+	for i, x := range c.readQ {
+		if x == r {
+			c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Controller) removeWrite(r *Request) {
+	for i, x := range c.writeQ {
+		if x == r {
+			c.writeQ = append(c.writeQ[:i], c.writeQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// DrainAll steps until both queues and the in-flight set are empty,
+// returning the number of cycles taken (bounded by maxCycles; it returns
+// an error on timeout, which would indicate a scheduling livelock).
+func (c *Controller) DrainAll(maxCycles uint64) (uint64, error) {
+	start := c.ch.Now()
+	for c.Pending() > 0 {
+		if c.ch.Now()-start > maxCycles {
+			return 0, fmt.Errorf("memctrl: drain exceeded %d cycles with %d pending", maxCycles, c.Pending())
+		}
+		c.Step()
+	}
+	return c.ch.Now() - start, nil
+}

@@ -1,0 +1,209 @@
+// Package reliability computes the analytic failure probabilities behind
+// the paper's Table I: the chance that a 64-byte line (576 stored bits)
+// sees more errors than its ECC can correct, and the chance that at least
+// one line of a memory fails. Errors are modelled as uniform and
+// independent, the assumption the paper adopts from the retention
+// literature. All computation is done in log space so that probabilities
+// down to 1e-300 remain exact enough to rank ECC strengths.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned on invalid arguments.
+var (
+	ErrBadProbability = errors.New("reliability: probability must be in (0,1)")
+	ErrBadCount       = errors.New("reliability: counts must be positive")
+)
+
+// Paper defaults (Section II-B/C): 576 stored bits per line (512 data +
+// 64 spare), 2^24 lines in the 1 GB memory.
+const (
+	// DefaultLineBits is the protected width of one line, ECC included.
+	DefaultLineBits = 576
+	// DefaultMemoryLines is the number of 64 B lines in 1 GB.
+	DefaultMemoryLines = 1 << 24
+	// DefaultBER is the paper's raw bit error rate at a 1 s refresh
+	// period, 10^-4.5.
+	DefaultBER = 3.1622776601683795e-05
+	// TargetSystemFailure is the paper's acceptance bar: fewer than one
+	// affected system per million.
+	TargetSystemFailure = 1e-6
+)
+
+// logChoose returns ln C(n,k).
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// logSumExp accumulates probabilities given as logs without underflow.
+func logSumExp(logs []float64) float64 {
+	if len(logs) == 0 {
+		return math.Inf(-1)
+	}
+	m := logs[0]
+	for _, l := range logs[1:] {
+		if l > m {
+			m = l
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, l := range logs {
+		s += math.Exp(l - m)
+	}
+	return m + math.Log(s)
+}
+
+// LineFailure returns P(more than t errors among nBits bits), each bit
+// failing independently with probability ber — the probability that an
+// ECC-t line is uncorrectable.
+func LineFailure(nBits, t int, ber float64) (float64, error) {
+	if nBits <= 0 || t < 0 {
+		return 0, fmt.Errorf("%w: nBits=%d t=%d", ErrBadCount, nBits, t)
+	}
+	if ber <= 0 || ber >= 1 {
+		return 0, fmt.Errorf("%w: %g", ErrBadProbability, ber)
+	}
+	if t >= nBits {
+		return 0, nil
+	}
+	lp := math.Log(ber)
+	lq := math.Log1p(-ber)
+	// Tail sum from k=t+1. Terms fall off geometrically by roughly
+	// nBits*ber per step; 64 terms bound the truncation error far below
+	// float precision for every regime the simulator explores.
+	kMax := t + 64
+	if kMax > nBits {
+		kMax = nBits
+	}
+	logs := make([]float64, 0, kMax-t)
+	for k := t + 1; k <= kMax; k++ {
+		logs = append(logs, logChoose(nBits, k)+float64(k)*lp+float64(nBits-k)*lq)
+	}
+	return math.Exp(logSumExp(logs)), nil
+}
+
+// SystemFailure returns P(at least one of nLines lines fails), given the
+// per-line failure probability.
+func SystemFailure(lineFailure float64, nLines int) (float64, error) {
+	if nLines <= 0 {
+		return 0, fmt.Errorf("%w: nLines=%d", ErrBadCount, nLines)
+	}
+	if lineFailure < 0 || lineFailure > 1 {
+		return 0, fmt.Errorf("%w: %g", ErrBadProbability, lineFailure)
+	}
+	if lineFailure == 0 {
+		return 0, nil
+	}
+	if lineFailure == 1 {
+		return 1, nil
+	}
+	// 1 - (1-p)^n computed stably.
+	return -math.Expm1(float64(nLines) * math.Log1p(-lineFailure)), nil
+}
+
+// Row is one line of Table I.
+type Row struct {
+	// T is the ECC correction strength (0 = no ECC).
+	T int
+	// LineFailure is the per-line uncorrectable probability.
+	LineFailure float64
+	// SystemFailure is the probability for the whole memory.
+	SystemFailure float64
+}
+
+// TableI reproduces the paper's Table I for the given BER, line width and
+// memory size, for ECC strengths 0..maxT.
+func TableI(ber float64, lineBits, nLines, maxT int) ([]Row, error) {
+	rows := make([]Row, 0, maxT+1)
+	for t := 0; t <= maxT; t++ {
+		lf, err := LineFailure(lineBits, t, ber)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := SystemFailure(lf, nLines)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{T: t, LineFailure: lf, SystemFailure: sf})
+	}
+	return rows, nil
+}
+
+// RequiredStrength returns the smallest ECC strength whose system failure
+// probability meets the target, plus extraSoftError levels of margin (the
+// paper adds one level for soft errors and VRT episodes, arriving at
+// ECC-6 = required ECC-5 + 1).
+func RequiredStrength(ber float64, lineBits, nLines int, target float64, extraSoftError int) (int, error) {
+	for t := 0; t <= lineBits; t++ {
+		lf, err := LineFailure(lineBits, t, ber)
+		if err != nil {
+			return 0, err
+		}
+		sf, err := SystemFailure(lf, nLines)
+		if err != nil {
+			return 0, err
+		}
+		if sf < target {
+			return t + extraSoftError, nil
+		}
+	}
+	return 0, fmt.Errorf("reliability: no strength up to %d meets target %g", lineBits, target)
+}
+
+// ExpectedFailedBits returns the expected number of failed bits in a
+// memory of totalBits at the given BER (the paper's "≈32K bits per 1Gb
+// array" check).
+func ExpectedFailedBits(ber float64, totalBits float64) float64 {
+	return ber * totalBits
+}
+
+// ScrubRow is one point of the scrub-interval analysis.
+type ScrubRow struct {
+	// IdlePeriods is how many idle episodes accumulate before errors
+	// are corrected (scrubbed).
+	IdlePeriods int
+	// EffectiveBER is the accumulated per-bit failure probability.
+	EffectiveBER float64
+	// SystemFailure is the ECC-6 whole-memory failure probability at
+	// that accumulation.
+	SystemFailure float64
+}
+
+// ScrubAnalysis quantifies why MECC's ECC-Upgrade sweep doubles as a
+// scrubbing pass: if correctable retention errors were left in place
+// across k idle episodes instead of being corrected at each wake-up,
+// independent failures would accumulate (1-(1-p)^k per bit) and the
+// ECC-6 reliability budget would erode. It returns one row per episode
+// count in [1, maxPeriods].
+func ScrubAnalysis(ber float64, maxPeriods int) ([]ScrubRow, error) {
+	if maxPeriods <= 0 {
+		return nil, fmt.Errorf("%w: maxPeriods=%d", ErrBadCount, maxPeriods)
+	}
+	if ber <= 0 || ber >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadProbability, ber)
+	}
+	rows := make([]ScrubRow, 0, maxPeriods)
+	for k := 1; k <= maxPeriods; k++ {
+		eff := -math.Expm1(float64(k) * math.Log1p(-ber))
+		lf, err := LineFailure(DefaultLineBits, 6, eff)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := SystemFailure(lf, DefaultMemoryLines)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScrubRow{IdlePeriods: k, EffectiveBER: eff, SystemFailure: sf})
+	}
+	return rows, nil
+}

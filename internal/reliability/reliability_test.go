@@ -1,0 +1,227 @@
+package reliability
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// within checks agreement to a relative tolerance.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	// Paper Table I, BER 10^-4.5, 64 B lines (576 stored bits), 1 GB.
+	rows, err := TableI(DefaultBER, DefaultLineBits, DefaultMemoryLines, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := []float64{1.8e-2, 1.6e-4, 9.8e-7, 4.5e-9, 1.6e-11, 4.9e-14, 1.2e-16}
+	wantSys := []float64{1.0, 1.0, 1.0, 7.2e-2, 2.7e-4, 8.1e-7, 1.8e-9}
+	for i, row := range rows {
+		if !within(row.LineFailure, wantLine[i], 0.10) {
+			t.Errorf("ECC-%d line failure = %.3g, paper %.3g", i, row.LineFailure, wantLine[i])
+		}
+		// System failure saturates at 1.0 for weak codes; allow 15% on
+		// the small values (the paper's own rounding is 2 significant
+		// digits).
+		if wantSys[i] == 1.0 {
+			if row.SystemFailure < 0.99 {
+				t.Errorf("ECC-%d system failure = %.3g, want ≈ 1", i, row.SystemFailure)
+			}
+		} else if !within(row.SystemFailure, wantSys[i], 0.20) {
+			t.Errorf("ECC-%d system failure = %.3g, paper %.3g", i, row.SystemFailure, wantSys[i])
+		}
+	}
+}
+
+func TestRequiredStrengthIsECC6(t *testing.T) {
+	// The paper: ECC-5 meets the 1e-6 target; +1 level of soft-error
+	// margin gives ECC-6.
+	got, err := RequiredStrength(DefaultBER, DefaultLineBits, DefaultMemoryLines, TargetSystemFailure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("RequiredStrength = ECC-%d, want ECC-6", got)
+	}
+	raw, err := RequiredStrength(DefaultBER, DefaultLineBits, DefaultMemoryLines, TargetSystemFailure, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 5 {
+		t.Errorf("raw required strength = ECC-%d, want ECC-5", raw)
+	}
+}
+
+// TestLineFailureAgainstBigFloat cross-checks the log-space computation
+// against exact big.Float arithmetic for a few (n, t, p) points.
+func TestLineFailureAgainstBigFloat(t *testing.T) {
+	cases := []struct {
+		n, t int
+		p    float64
+	}{
+		{576, 0, 3.1622776601683795e-05},
+		{576, 2, 3.1622776601683795e-05},
+		{576, 6, 3.1622776601683795e-05},
+		{576, 1, 1e-6},
+		{72, 1, 1e-4},
+	}
+	for _, c := range cases {
+		got, err := LineFailure(c.n, c.t, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bigTail(c.n, c.t, c.p)
+		if !within(got, want, 1e-6) {
+			t.Errorf("LineFailure(%d,%d,%g) = %g, exact %g", c.n, c.t, c.p, got, want)
+		}
+	}
+}
+
+// bigTail computes P(X > t) for X ~ Binomial(n, p) with 200-bit floats by
+// summing the complementary CDF head and subtracting from 1 when that is
+// better conditioned, otherwise summing the tail directly.
+func bigTail(n, tcap int, p float64) float64 {
+	prec := uint(200)
+	bp := new(big.Float).SetPrec(prec).SetFloat64(p)
+	bq := new(big.Float).SetPrec(prec).SetFloat64(1 - p)
+	sum := new(big.Float).SetPrec(prec)
+	// Tail sum k=tcap+1..min(n, tcap+80).
+	kMax := tcap + 80
+	if kMax > n {
+		kMax = n
+	}
+	for k := tcap + 1; k <= kMax; k++ {
+		term := new(big.Float).SetPrec(prec).SetInt(choose(n, k))
+		for i := 0; i < k; i++ {
+			term.Mul(term, bp)
+		}
+		for i := 0; i < n-k; i++ {
+			term.Mul(term, bq)
+		}
+		sum.Add(sum, term)
+	}
+	out, _ := sum.Float64()
+	return out
+}
+
+func choose(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+func TestSystemFailureStability(t *testing.T) {
+	// Tiny per-line probability: must not round to zero.
+	sf, err := SystemFailure(1e-16, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(sf, 1e-16*float64(1<<24), 1e-6) {
+		t.Errorf("SystemFailure(1e-16) = %g", sf)
+	}
+	// Saturating case.
+	sf, err = SystemFailure(1e-2, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf < 0.999999 {
+		t.Errorf("SystemFailure(1e-2) = %g, want ≈ 1", sf)
+	}
+	if sf, err = SystemFailure(0, 10); err != nil || sf != 0 {
+		t.Error("SystemFailure(0) should be 0")
+	}
+	if sf, err = SystemFailure(1, 10); err != nil || sf != 1 {
+		t.Error("SystemFailure(1) should be 1")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := LineFailure(0, 1, 0.5); err == nil {
+		t.Error("LineFailure(n=0): want error")
+	}
+	if _, err := LineFailure(10, -1, 0.5); err == nil {
+		t.Error("LineFailure(t<0): want error")
+	}
+	if _, err := LineFailure(10, 1, 0); err == nil {
+		t.Error("LineFailure(p=0): want error")
+	}
+	if _, err := LineFailure(10, 1, 1); err == nil {
+		t.Error("LineFailure(p=1): want error")
+	}
+	if _, err := SystemFailure(0.5, 0); err == nil {
+		t.Error("SystemFailure(n=0): want error")
+	}
+	if _, err := SystemFailure(1.5, 10); err == nil {
+		t.Error("SystemFailure(p>1): want error")
+	}
+	if got, err := LineFailure(4, 10, 0.5); err != nil || got != 0 {
+		t.Error("t >= n should fail with probability 0")
+	}
+}
+
+func TestLineFailureMonotonicInT(t *testing.T) {
+	prev := 1.1
+	for tc := 0; tc <= 8; tc++ {
+		lf, err := LineFailure(DefaultLineBits, tc, DefaultBER)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lf >= prev {
+			t.Fatalf("line failure not decreasing at t=%d (%g >= %g)", tc, lf, prev)
+		}
+		prev = lf
+	}
+}
+
+func TestExpectedFailedBits(t *testing.T) {
+	// Paper: ~32K failed bits per 1 Gb at BER 10^-4.5.
+	got := ExpectedFailedBits(DefaultBER, float64(uint64(1)<<30))
+	if got < 30e3 || got > 40e3 {
+		t.Errorf("expected failed bits per 1Gb = %.0f, want ≈ 32K", got)
+	}
+	// ~256K bits per 1 GB (8 Gb).
+	got = ExpectedFailedBits(DefaultBER, float64(uint64(8)<<30))
+	if got < 250e3 || got > 290e3 {
+		t.Errorf("expected failed bits per 1GB = %.0f, want ≈ 256K", got)
+	}
+}
+
+func TestScrubAnalysis(t *testing.T) {
+	rows, err := ScrubAnalysis(DefaultBER, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Effective BER grows ≈ linearly; system failure monotonically.
+	if !within(rows[0].EffectiveBER, DefaultBER, 1e-9) {
+		t.Errorf("k=1 BER = %g", rows[0].EffectiveBER)
+	}
+	if !within(rows[15].EffectiveBER, 16*DefaultBER, 0.01) {
+		t.Errorf("k=16 BER = %g, want ≈ 16p", rows[15].EffectiveBER)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SystemFailure < rows[i-1].SystemFailure {
+			t.Fatal("system failure not monotone")
+		}
+	}
+	// With per-wake-up scrubbing (k=1) the 1e-6 target holds easily;
+	// letting errors pile up for 32 idle periods blows the budget.
+	if rows[0].SystemFailure > TargetSystemFailure {
+		t.Errorf("k=1 failure = %g exceeds target", rows[0].SystemFailure)
+	}
+	if rows[31].SystemFailure < TargetSystemFailure {
+		t.Errorf("k=32 failure = %g should exceed target", rows[31].SystemFailure)
+	}
+	if _, err := ScrubAnalysis(DefaultBER, 0); err == nil {
+		t.Error("zero periods: want error")
+	}
+	if _, err := ScrubAnalysis(0, 5); err == nil {
+		t.Error("zero ber: want error")
+	}
+}

@@ -1,0 +1,253 @@
+// Package retention models DRAM cell data-retention behaviour: the
+// cumulative bit-failure probability as a function of refresh period
+// (paper Fig. 2, derived from Kim & Lee's 60 nm characterization), plus a
+// fault injector that plants retention errors into stored lines at the
+// modelled bit error rate, and a variable-retention-time (VRT) episode
+// injector for the failure mode that defeats profiling-based schemes
+// (Section VII-B).
+package retention
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ErrBadAnchor reports an invalid calibration point.
+var ErrBadAnchor = errors.New("retention: anchors must have 0 < ber < 1 and increasing periods")
+
+// Model is the retention-failure model: a power law in refresh period,
+// matching the straight line of the paper's log-log Fig. 2. It is
+// calibrated by two anchor points and is immutable after construction.
+type Model struct {
+	refPeriod time.Duration
+	refBER    float64
+	slope     float64
+}
+
+// Paper calibration anchors (Section II-B): at the JEDEC 64 ms period the
+// bit failure probability is ~1e-9; at 1 s it is ~10^-4.5.
+const (
+	// JEDECPeriod is the standard DRAM refresh period.
+	JEDECPeriod = 64 * time.Millisecond
+	// JEDECBitErrorRate is the bit failure probability at JEDECPeriod.
+	JEDECBitErrorRate = 1e-9
+	// SlowPeriod is the paper's extended idle-mode refresh period.
+	SlowPeriod = time.Second
+	// SlowBitErrorRate is the paper's default raw BER at SlowPeriod.
+	SlowBitErrorRate = 3.1622776601683795e-05 // 10^-4.5
+)
+
+// NewModel calibrates a power-law retention model through two anchor
+// points: (p1, ber1) and (p2, ber2) with p1 < p2.
+func NewModel(p1 time.Duration, ber1 float64, p2 time.Duration, ber2 float64) (*Model, error) {
+	if p1 <= 0 || p2 <= p1 || ber1 <= 0 || ber1 >= 1 || ber2 <= ber1 || ber2 >= 1 {
+		return nil, fmt.Errorf("%w: (%v,%g) (%v,%g)", ErrBadAnchor, p1, ber1, p2, ber2)
+	}
+	slope := math.Log10(ber2/ber1) / math.Log10(p2.Seconds()/p1.Seconds())
+	return &Model{refPeriod: p2, refBER: ber2, slope: slope}, nil
+}
+
+// DefaultModel returns the model calibrated to the paper's anchors.
+func DefaultModel() *Model {
+	m, err := NewModel(JEDECPeriod, JEDECBitErrorRate, SlowPeriod, SlowBitErrorRate)
+	if err != nil {
+		// Unreachable: the constants satisfy the constructor's checks.
+		panic(err)
+	}
+	return m
+}
+
+// BER returns the cumulative bit failure probability when cells are
+// refreshed every period. The power law is clamped to [0, 1].
+func (m *Model) BER(period time.Duration) float64 {
+	if period <= 0 {
+		return 0
+	}
+	ber := m.refBER * math.Pow(period.Seconds()/m.refPeriod.Seconds(), m.slope)
+	return math.Min(ber, 1)
+}
+
+// PeriodFor returns the largest refresh period whose BER does not exceed
+// the target.
+func (m *Model) PeriodFor(targetBER float64) time.Duration {
+	if targetBER <= 0 {
+		return 0
+	}
+	sec := m.refPeriod.Seconds() * math.Pow(targetBER/m.refBER, 1/m.slope)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Slope returns the fitted log-log slope (≈3.77 for the paper anchors).
+func (m *Model) Slope() float64 { return m.slope }
+
+// Temperature dependence: DRAM retention time roughly halves for every
+// 10 degC of junction temperature — which is why JEDEC doubles the
+// refresh rate above 85 degC, and why a phone gaming in the sun needs
+// more margin than the paper's nominal operating point.
+const (
+	// NominalTempC is the temperature the base model is calibrated at.
+	NominalTempC = 45.0
+	// RetentionHalvingC is the temperature step that halves retention.
+	RetentionHalvingC = 10.0
+)
+
+// BERAtTemp returns the bit failure probability at a refresh period and
+// junction temperature: retention halving per RetentionHalvingC is
+// equivalent to the period looking 2^((temp-nominal)/10) times longer.
+func (m *Model) BERAtTemp(period time.Duration, tempC float64) float64 {
+	factor := math.Pow(2, (tempC-NominalTempC)/RetentionHalvingC)
+	return m.BER(time.Duration(float64(period) * factor))
+}
+
+// PeriodForAtTemp returns the largest refresh period meeting a target
+// BER at the given temperature.
+func (m *Model) PeriodForAtTemp(targetBER, tempC float64) time.Duration {
+	base := m.PeriodFor(targetBER)
+	factor := math.Pow(2, (tempC-NominalTempC)/RetentionHalvingC)
+	return time.Duration(float64(base) / factor)
+}
+
+// Curve samples the model at logarithmically spaced periods in [lo, hi],
+// for rendering Fig. 2. It returns parallel period and BER slices.
+func (m *Model) Curve(lo, hi time.Duration, points int) ([]time.Duration, []float64) {
+	if points < 2 || hi <= lo {
+		return nil, nil
+	}
+	periods := make([]time.Duration, points)
+	bers := make([]float64, points)
+	l0, l1 := math.Log10(lo.Seconds()), math.Log10(hi.Seconds())
+	for i := 0; i < points; i++ {
+		sec := math.Pow(10, l0+(l1-l0)*float64(i)/float64(points-1))
+		periods[i] = time.Duration(sec * float64(time.Second))
+		bers[i] = m.BER(periods[i])
+	}
+	return periods, bers
+}
+
+// Injector plants independent uniform bit errors at a given BER, using
+// geometric gap sampling so that cost is proportional to the number of
+// failures rather than the number of bits. It is NOT safe for concurrent
+// use; give each goroutine its own Injector.
+type Injector struct {
+	rng *rand.Rand
+	ber float64
+	// lnq is ln(1-ber), cached for gap sampling.
+	lnq float64
+}
+
+// NewInjector builds a deterministic fault injector.
+func NewInjector(seed int64, ber float64) *Injector {
+	return &Injector{
+		rng: rand.New(rand.NewSource(seed)),
+		ber: ber,
+		lnq: math.Log1p(-ber),
+	}
+}
+
+// BER returns the injector's configured bit error rate.
+func (in *Injector) BER() float64 { return in.ber }
+
+// FlipPositions returns the positions in [0, nbits) that fail, in
+// increasing order. The expected count is nbits*ber.
+func (in *Injector) FlipPositions(nbits int) []int {
+	if in.ber <= 0 {
+		return nil
+	}
+	if in.ber >= 1 {
+		out := make([]int, nbits)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	pos := -1
+	for {
+		// Geometric gap: number of surviving bits before the next failure.
+		u := in.rng.Float64()
+		for u == 0 {
+			u = in.rng.Float64()
+		}
+		gap := int(math.Floor(math.Log(u) / in.lnq))
+		pos += gap + 1
+		if pos >= nbits {
+			return out
+		}
+		out = append(out, pos)
+	}
+}
+
+// CountErrors draws how many of nbits fail, without materializing
+// positions — a Binomial(nbits, ber) sample used by the large-scale
+// reliability Monte Carlo.
+func (in *Injector) CountErrors(nbits int) int {
+	if in.ber <= 0 {
+		return 0
+	}
+	n := 0
+	pos := -1
+	for {
+		u := in.rng.Float64()
+		for u == 0 {
+			u = in.rng.Float64()
+		}
+		pos += int(math.Floor(math.Log(u)/in.lnq)) + 1
+		if pos >= nbits {
+			return n
+		}
+		n++
+	}
+}
+
+// VRTCell describes one cell undergoing variable retention time: it
+// toggles between a good and a leaky state with exponentially distributed
+// dwell times. Profiling-based schemes (RAPID/RAIDR/SECRET) are blind to
+// these cells; MECC tolerates them because its ECC-6 budget covers random
+// failures wherever they appear (Section VII-B).
+type VRTCell struct {
+	// Bit is the cell's bit index within its line.
+	Bit int
+	// LineIndex is the owning line's index in memory.
+	LineIndex uint64
+}
+
+// VRTPopulation samples which cells of a memory are VRT-afflicted and
+// whether each is currently leaky at a given observation.
+type VRTPopulation struct {
+	rng       *rand.Rand
+	cells     []VRTCell
+	leakyFrac float64
+}
+
+// NewVRTPopulation draws nCells VRT cells uniformly over a memory of
+// totalLines lines with bitsPerLine bits each. leakyFrac is the duty cycle
+// of the leaky state.
+func NewVRTPopulation(seed int64, nCells int, totalLines uint64, bitsPerLine int, leakyFrac float64) *VRTPopulation {
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]VRTCell, nCells)
+	for i := range cells {
+		cells[i] = VRTCell{
+			Bit:       rng.Intn(bitsPerLine),
+			LineIndex: uint64(rng.Int63n(int64(totalLines))),
+		}
+	}
+	return &VRTPopulation{rng: rng, cells: cells, leakyFrac: leakyFrac}
+}
+
+// ActiveFailures returns the VRT cells that are leaky at this observation:
+// each cell independently with probability leakyFrac.
+func (v *VRTPopulation) ActiveFailures() []VRTCell {
+	var out []VRTCell
+	for _, c := range v.cells {
+		if v.rng.Float64() < v.leakyFrac {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Cells returns the full VRT population.
+func (v *VRTPopulation) Cells() []VRTCell { return v.cells }

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// Phase-pattern simulation: the Fig. 1 usage model of alternating active
+// bursts and long idle periods. Each idle entry drains the memory
+// controller, performs the scheme's ECC-Upgrade transition (MECC), puts
+// the DRAM into self refresh at the scheme's divider, and fast-forwards;
+// wake-up reverses the sequence. Energy accumulates in the channel
+// statistics across all phases, self-refresh residency included.
+
+// PhaseTransition summarizes one idle entry.
+type PhaseTransition struct {
+	// SweepCycles is the CPU-cycle cost of the ECC-Upgrade sweep.
+	SweepCycles uint64
+	// LinesUpgraded counts converted lines (MECC only).
+	LinesUpgraded uint64
+	// DividerBits is the self-refresh rate divider used for the idle
+	// period.
+	DividerBits int
+}
+
+// RunActive executes the given number of additional instructions in
+// active mode. The runner must not be idle.
+func (r *Runner) RunActive(instructions int64) error {
+	if r.idle {
+		return fmt.Errorf("%w: RunActive while idle", core.ErrBadPhase)
+	}
+	r.segmentBudget = instructions
+	start := r.cpu.Now()
+	err := r.runLoop()
+	r.activeCycles += r.cpu.Now() - start
+	return err
+}
+
+// GoIdle transitions to idle mode for the given wall-clock duration:
+// outstanding traffic drains, the scheme's upgrade sweep runs, and the
+// DRAM sits in self refresh at the scheme's divider.
+func (r *Runner) GoIdle(duration time.Duration) error {
+	if r.idle {
+		return fmt.Errorf("%w: GoIdle while idle", core.ErrBadPhase)
+	}
+	// Drain all queued traffic so the banks can be precharged.
+	for len(r.pendingWB) > 0 {
+		r.stepDRAM()
+	}
+	if _, err := r.ctl.DrainAll(10_000_000); err != nil {
+		return err
+	}
+	// The prefetch buffer does not survive the power transition.
+	for k := range r.prefReady {
+		delete(r.prefReady, k)
+	}
+	for k := range r.prefInflight {
+		delete(r.prefInflight, k)
+	}
+	r.prefFIFO = r.prefFIFO[:0]
+	// The scheme's idle transition (ECC-Upgrade for MECC).
+	tr, err := r.sch.enterIdle(r.cpu.Now())
+	if err != nil {
+		return err
+	}
+	r.lastTransition = tr
+	// The sweep occupies the memory for SweepCycles of CPU time; model
+	// its residency as active-standby time plus the line traffic energy
+	// (already charged by the scheme's energy counters).
+	sweepDRAM := tr.SweepCycles / r.ratio()
+	r.ch.AdvanceTo(r.ch.Now() + sweepDRAM)
+
+	// Close any open rows, then enter self refresh.
+	for !r.ch.AllPrecharged() {
+		for b := 0; b < r.cfg.DRAM.TotalBanks(); b++ {
+			if r.ch.AnyRowOpen(b) && r.ch.CanPRE(b) {
+				if err := r.ch.PRE(b); err != nil {
+					return err
+				}
+			}
+		}
+		r.ch.Tick()
+	}
+	if r.ch.State() == dram.StatePrechargePD || r.ch.State() == dram.StateActivePD {
+		if err := r.ch.ExitPowerDown(); err != nil {
+			return err
+		}
+	}
+	if err := r.ch.EnterSelfRefresh(tr.DividerBits); err != nil {
+		return err
+	}
+	idleDRAM := uint64(duration.Seconds() * float64(r.cfg.DRAM.ClockHz))
+	r.ch.AdvanceTo(r.ch.Now() + idleDRAM)
+	r.idle = true
+	r.idleTime += duration
+	return nil
+}
+
+// WakeUp exits idle mode; subsequent RunActive calls continue the
+// workload. The CPU clock jumps over the idle period.
+func (r *Runner) WakeUp() error {
+	if !r.idle {
+		return fmt.Errorf("%w: WakeUp while active", core.ErrBadPhase)
+	}
+	if err := r.ch.ExitSelfRefresh(); err != nil {
+		return err
+	}
+	// Re-align the CPU clock with the DRAM clock after the jump.
+	r.cpu.StallUntil(r.ch.Now() * r.ratio())
+	if err := r.sch.exitIdle(r.cpu.Now()); err != nil {
+		return err
+	}
+	r.updateRefreshShift()
+	r.idle = false
+	return nil
+}
+
+// LastTransition returns the most recent idle-entry summary.
+func (r *Runner) LastTransition() PhaseTransition { return r.lastTransition }
+
+// IdleTime returns the accumulated idle wall-clock time.
+func (r *Runner) IdleTime() time.Duration { return r.idleTime }
+
+// Result finalizes and returns the figures of merit over everything run
+// so far (active phases only for IPC; energy includes idle residency).
+func (r *Runner) Result() Result {
+	return r.result(r.checkpoints)
+}

@@ -1,0 +1,55 @@
+package sim
+
+// doRead issues a blocking demand read: the in-order core stalls until
+// the data burst and its ECC decode complete. decodeCycles is the
+// scheme's decode latency in CPU cycles.
+func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
+	r.syncDRAM()
+	// Prefetch-buffer hit: the line is already on chip; only the decode
+	// latency (and a buffer-access cycle) remains.
+	if r.prefReady[lineAddr] {
+		delete(r.prefReady, lineAddr)
+		for i, a := range r.prefFIFO {
+			if a == lineAddr {
+				r.prefFIFO = append(r.prefFIFO[:i], r.prefFIFO[i+1:]...)
+				break
+			}
+		}
+		r.prefHits++
+		r.cpu.StallUntil(r.cpu.Now() + 1 + uint64(decodeCycles))
+		r.maybePrefetch(lineAddr)
+		return nil
+	}
+	// Adopt an in-flight prefetch of the same line rather than fetching
+	// it twice: the prefetch's remaining latency is all we pay.
+	if tag, ok := r.prefetchInFlightFor(lineAddr); ok {
+		delete(r.prefInflight, tag)
+		r.prefHits++
+		r.waitTag = tag
+		r.waitDone = false
+		for !r.waitDone {
+			r.stepDRAM()
+		}
+		dataCPU := r.waitAt * r.ratio()
+		r.cpu.StallUntil(dataCPU + uint64(decodeCycles))
+		r.maybePrefetch(lineAddr)
+		return nil
+	}
+	for !r.ctl.CanEnqueueRead() {
+		r.stepDRAM()
+	}
+	r.nextTag++
+	r.waitTag = r.nextTag
+	r.waitDone = false
+	if err := r.ctl.EnqueueRead(lineAddr, r.waitTag); err != nil {
+		// Unreachable: space was ensured.
+		panic(err)
+	}
+	for !r.waitDone {
+		r.stepDRAM()
+	}
+	dataCPU := r.waitAt * r.ratio()
+	r.cpu.StallUntil(dataCPU + uint64(decodeCycles))
+	r.maybePrefetch(lineAddr)
+	return nil
+}

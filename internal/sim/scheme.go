@@ -1,0 +1,202 @@
+// Package sim is the full-system simulator: it drives a trace (usually a
+// synthetic workload generator) through the in-order core, the MECC (or
+// baseline ECC) controller, the memory controller and the DRAM timing
+// model, and reports the paper's figures of merit — normalized IPC,
+// power, energy and energy-delay product (Section IV-D).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrBadScheme reports an unknown error-protection scheme.
+var ErrBadScheme = errors.New("sim: unknown scheme")
+
+// SchemeKind selects the error-protection scheme under evaluation.
+type SchemeKind int
+
+// Schemes compared in the paper's evaluation.
+const (
+	// SchemeBaseline is no error correction (the normalization target).
+	SchemeBaseline SchemeKind = iota + 1
+	// SchemeSECDED always decodes with the weak code (Fig. 3/7 "SECDED").
+	SchemeSECDED
+	// SchemeECC6 always decodes with the strong code (Fig. 3/7 "ECC-6").
+	SchemeECC6
+	// SchemeMECC is Morphable ECC.
+	SchemeMECC
+)
+
+// String renders the scheme name as in the paper's figures.
+func (k SchemeKind) String() string {
+	switch k {
+	case SchemeBaseline:
+		return "Baseline"
+	case SchemeSECDED:
+		return "SECDED"
+	case SchemeECC6:
+		return "ECC-6"
+	case SchemeMECC:
+		return "MECC"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(k))
+	}
+}
+
+// MarshalText renders the scheme name in JSON and text encodings.
+func (k SchemeKind) MarshalText() ([]byte, error) {
+	return []byte(k.String()), nil
+}
+
+// ParseScheme maps a name to a SchemeKind.
+func ParseScheme(s string) (SchemeKind, error) {
+	switch s {
+	case "baseline", "none":
+		return SchemeBaseline, nil
+	case "secded", "ecc1":
+		return SchemeSECDED, nil
+	case "ecc6", "strong":
+		return SchemeECC6, nil
+	case "mecc":
+		return SchemeMECC, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadScheme, s)
+	}
+}
+
+// eccCounts tracks codec operations for the energy model.
+type eccCounts struct {
+	weakDecodes, strongDecodes uint64
+	weakEncodes, strongEncodes uint64
+}
+
+// scheme is the per-read/per-write decode policy.
+type scheme interface {
+	kind() SchemeKind
+	// onRead returns the decode latency in CPU cycles and whether an
+	// ECC-Downgrade writeback must be scheduled.
+	onRead(lineAddr, nowCPU uint64) (int, bool, error)
+	// onWrite accounts a writeback's encoding.
+	onWrite(lineAddr, nowCPU uint64) error
+	// refreshShift is the active-mode refresh divider (SMD).
+	refreshShift() int
+	// enterIdle performs the scheme's idle transition and reports the
+	// sweep cost and the self-refresh divider to use while idle.
+	enterIdle(nowCPU uint64) (PhaseTransition, error)
+	// exitIdle wakes the scheme into active mode.
+	exitIdle(nowCPU uint64) error
+	counts() eccCounts
+	mecc() *core.Controller
+}
+
+// fixedScheme decodes every read with one latency (baseline 0, SECDED 2,
+// ECC-6 30).
+type fixedScheme struct {
+	k            SchemeKind
+	decodeCycles int
+	strong       bool
+	c            eccCounts
+}
+
+var _ scheme = (*fixedScheme)(nil)
+
+func (f *fixedScheme) kind() SchemeKind { return f.k }
+
+func (f *fixedScheme) onRead(_, _ uint64) (int, bool, error) {
+	if f.k != SchemeBaseline {
+		if f.strong {
+			f.c.strongDecodes++
+		} else {
+			f.c.weakDecodes++
+		}
+	}
+	return f.decodeCycles, false, nil
+}
+
+func (f *fixedScheme) onWrite(_, _ uint64) error {
+	if f.k != SchemeBaseline {
+		if f.strong {
+			f.c.strongEncodes++
+		} else {
+			f.c.weakEncodes++
+		}
+	}
+	return nil
+}
+
+func (f *fixedScheme) refreshShift() int { return 0 }
+
+// enterIdle: a fixed scheme has no per-line mode to convert. Schemes
+// whose stored code tolerates the slow-refresh BER (ECC-6) idle with the
+// 16x divider; the others must keep the JEDEC rate.
+func (f *fixedScheme) enterIdle(uint64) (PhaseTransition, error) {
+	if f.strong {
+		return PhaseTransition{DividerBits: 4}, nil
+	}
+	return PhaseTransition{}, nil
+}
+
+func (f *fixedScheme) exitIdle(uint64) error  { return nil }
+func (f *fixedScheme) counts() eccCounts      { return f.c }
+func (f *fixedScheme) mecc() *core.Controller { return nil }
+
+// meccScheme adapts the core.Controller to the scheme interface.
+type meccScheme struct {
+	ctl          *core.Controller
+	weakCycles   int
+	strongCycles int
+	c            eccCounts
+}
+
+var _ scheme = (*meccScheme)(nil)
+
+func (m *meccScheme) kind() SchemeKind { return SchemeMECC }
+
+func (m *meccScheme) onRead(lineAddr, nowCPU uint64) (int, bool, error) {
+	out, err := m.ctl.OnRead(lineAddr, nowCPU)
+	if err != nil {
+		return 0, false, err
+	}
+	if out.StrongDecode {
+		m.c.strongDecodes++
+		if out.Downgrade {
+			// Re-encode weak for the downgrade writeback.
+			m.c.weakEncodes++
+		}
+		return m.strongCycles, out.Downgrade, nil
+	}
+	m.c.weakDecodes++
+	return m.weakCycles, false, nil
+}
+
+func (m *meccScheme) onWrite(lineAddr, nowCPU uint64) error {
+	if err := m.ctl.OnWrite(lineAddr, nowCPU); err != nil {
+		return err
+	}
+	m.c.weakEncodes++
+	return nil
+}
+
+func (m *meccScheme) refreshShift() int { return m.ctl.RefreshDividerBits() }
+
+func (m *meccScheme) enterIdle(nowCPU uint64) (PhaseTransition, error) {
+	tr, err := m.ctl.EnterIdle(nowCPU)
+	if err != nil {
+		return PhaseTransition{}, err
+	}
+	m.c.strongEncodes += tr.LinesUpgraded
+	m.c.weakDecodes += tr.LinesUpgraded
+	return PhaseTransition{
+		SweepCycles:   tr.SweepCycles,
+		LinesUpgraded: tr.LinesUpgraded,
+		DividerBits:   m.ctl.Config().DividerBits,
+	}, nil
+}
+
+func (m *meccScheme) exitIdle(nowCPU uint64) error { return m.ctl.ExitIdle(nowCPU) }
+
+func (m *meccScheme) counts() eccCounts      { return m.c }
+func (m *meccScheme) mecc() *core.Controller { return m.ctl }

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFixedSchemeCounts(t *testing.T) {
+	sec := &fixedScheme{k: SchemeSECDED, decodeCycles: 2}
+	for i := 0; i < 5; i++ {
+		lat, wb, err := sec.onRead(uint64(i), uint64(i))
+		if err != nil || wb || lat != 2 {
+			t.Fatalf("secded onRead: lat=%d wb=%v err=%v", lat, wb, err)
+		}
+	}
+	if err := sec.onWrite(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := sec.counts()
+	if c.weakDecodes != 5 || c.weakEncodes != 1 || c.strongDecodes != 0 {
+		t.Errorf("secded counts: %+v", c)
+	}
+
+	e6 := &fixedScheme{k: SchemeECC6, decodeCycles: 30, strong: true}
+	if lat, _, _ := e6.onRead(0, 0); lat != 30 {
+		t.Error("ecc6 latency")
+	}
+	if err := e6.onWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c := e6.counts(); c.strongDecodes != 1 || c.strongEncodes != 1 {
+		t.Errorf("ecc6 counts: %+v", c)
+	}
+
+	base := &fixedScheme{k: SchemeBaseline}
+	if lat, _, _ := base.onRead(0, 0); lat != 0 {
+		t.Error("baseline latency")
+	}
+	if err := base.onWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c := base.counts(); c != (eccCounts{}) {
+		t.Errorf("baseline counts: %+v", c)
+	}
+}
+
+func TestFixedSchemeIdleTransitions(t *testing.T) {
+	// Baseline/SECDED cannot slow refresh while idle (their codes don't
+	// cover the 1 s BER); ECC-6 can.
+	for _, tc := range []struct {
+		sch     *fixedScheme
+		divider int
+	}{
+		{&fixedScheme{k: SchemeBaseline}, 0},
+		{&fixedScheme{k: SchemeSECDED, decodeCycles: 2}, 0},
+		{&fixedScheme{k: SchemeECC6, decodeCycles: 30, strong: true}, 4},
+	} {
+		tr, err := tc.sch.enterIdle(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.DividerBits != tc.divider || tr.SweepCycles != 0 {
+			t.Errorf("%v: transition %+v", tc.sch.k, tr)
+		}
+		if err := tc.sch.exitIdle(200); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMECCSchemeCountsUpgradeCoding(t *testing.T) {
+	ctl, err := core.New(core.DefaultConfig(1 << 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.ExitIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	m := &meccScheme{ctl: ctl, weakCycles: 2, strongCycles: 30}
+	// First touch: strong decode + weak re-encode for the downgrade.
+	lat, wb, err := m.onRead(7, 10)
+	if err != nil || !wb || lat != 30 {
+		t.Fatalf("first read: lat=%d wb=%v err=%v", lat, wb, err)
+	}
+	// Second touch: weak.
+	lat, wb, err = m.onRead(7, 20)
+	if err != nil || wb || lat != 2 {
+		t.Fatalf("second read: lat=%d wb=%v err=%v", lat, wb, err)
+	}
+	if err := m.onWrite(9, 30); err != nil {
+		t.Fatal(err)
+	}
+	// The idle sweep charges a weak decode + strong encode per upgraded
+	// line (2 lines were downgraded: 7 by read, 9 by write).
+	tr, err := m.enterIdle(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LinesUpgraded != 2 || tr.DividerBits != 4 {
+		t.Fatalf("transition: %+v", tr)
+	}
+	c := m.counts()
+	if c.strongEncodes != 2 {
+		t.Errorf("strong encodes = %d, want 2 (upgrade sweep)", c.strongEncodes)
+	}
+	if c.weakEncodes != 2 { // 1 downgrade writeback + 1 demand write
+		t.Errorf("weak encodes = %d, want 2", c.weakEncodes)
+	}
+	if err := m.exitIdle(200); err != nil {
+		t.Fatal(err)
+	}
+	// Reads while idle propagate the controller's phase error.
+	if _, err := ctl.EnterIdle(300); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.onRead(1, 400); err == nil {
+		t.Error("onRead while idle: want error")
+	}
+	if err := m.onWrite(1, 400); err == nil {
+		t.Error("onWrite while idle: want error")
+	}
+}

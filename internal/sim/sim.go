@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/memctrl"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config assembles a full-system simulation.
+type Config struct {
+	// DRAM is the memory geometry and timing (Table II).
+	DRAM dram.Config
+	// Ctrl is the memory-controller policy.
+	Ctrl memctrl.Config
+	// Power is the Table IV parameter set.
+	Power power.Params
+	// Scheme selects the protection scheme.
+	Scheme SchemeKind
+	// WeakDecodeCycles is the SECDED decode latency in CPU cycles.
+	WeakDecodeCycles int
+	// StrongDecodeCycles is the ECC-6 decode latency in CPU cycles
+	// (Fig. 12 sweeps 15..60; default 30).
+	StrongDecodeCycles int
+	// MECC configures the morphable controller when Scheme is
+	// SchemeMECC. TotalLines is filled in from DRAM automatically.
+	MECC core.Config
+	// Instructions is the slice length to simulate.
+	Instructions int64
+	// Seed drives the workload generator.
+	Seed int64
+	// CheckpointEvery, when positive, records (instructions, IPC) pairs
+	// at this interval — the Fig. 13 transition-time study.
+	CheckpointEvery int64
+	// NextLinePrefetch enables a simple sequential prefetcher: each
+	// demand read triggers a background fetch of the next line into a
+	// small buffer that later demand reads hit with near-zero DRAM
+	// latency (they still pay their ECC decode).
+	NextLinePrefetch bool
+}
+
+// DefaultConfig returns the paper's baseline system with the given
+// scheme and slice length.
+func DefaultConfig(k SchemeKind, instructions int64) Config {
+	d := dram.DefaultConfig()
+	return Config{
+		DRAM:               d,
+		Ctrl:               memctrl.DefaultConfig(),
+		Power:              power.DefaultParams(),
+		Scheme:             k,
+		WeakDecodeCycles:   ecc.DefaultSECDEDDecodeCycles,
+		StrongDecodeCycles: ecc.DefaultStrongDecodeCycles,
+		MECC:               core.DefaultConfig(d.TotalLines()),
+		Instructions:       instructions,
+		Seed:               1,
+	}
+}
+
+// Checkpoint is one Fig. 13 sample.
+type Checkpoint struct {
+	// Instructions retired at the sample.
+	Instructions uint64 `json:"instructions"`
+	// IPC is the cumulative IPC at the sample.
+	IPC float64 `json:"ipc"`
+}
+
+// Result is one simulation's figures of merit. The struct marshals to
+// JSON for tooling (cmd/meccsim -json).
+type Result struct {
+	// Benchmark and Scheme identify the run.
+	Benchmark string     `json:"benchmark"`
+	Scheme    SchemeKind `json:"scheme"`
+	// Instructions and Cycles are the retired count and elapsed CPU
+	// cycles.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// IPC is Instructions/Cycles.
+	IPC float64 `json:"ipc"`
+	// MPKI is the measured read-miss rate.
+	MPKI float64 `json:"mpki"`
+	// AvgReadLatencyCPU is mean DRAM read latency in CPU cycles
+	// (excluding decode).
+	AvgReadLatencyCPU float64 `json:"avg_read_latency_cpu"`
+	// MemStallCycles is time the core spent blocked on loads.
+	MemStallCycles uint64 `json:"mem_stall_cycles"`
+	// DRAM and Ctrl expose the raw statistics.
+	DRAM dram.Stats    `json:"dram"`
+	Ctrl memctrl.Stats `json:"ctrl"`
+	// MECC carries the morphable controller's stats for SchemeMECC.
+	MECC *core.Stats `json:"mecc,omitempty"`
+	// Energy is the DRAM energy breakdown; ECCEnergyJ adds codec energy.
+	Energy     power.Breakdown `json:"energy"`
+	ECCEnergyJ float64         `json:"ecc_energy_j"`
+	// ActiveTimeSec is wall time of the slice at 1.6 GHz.
+	ActiveTimeSec float64 `json:"active_time_sec"`
+	// ActivePowerW is total energy over time.
+	ActivePowerW float64 `json:"active_power_w"`
+	// EDP is energy x delay (Equation 2).
+	EDP float64 `json:"edp"`
+	// PrefetchHits counts demand reads served from the prefetch buffer.
+	PrefetchHits uint64 `json:"prefetch_hits,omitempty"`
+	// Checkpoints holds Fig. 13 samples when requested.
+	Checkpoints []Checkpoint `json:"checkpoints,omitempty"`
+}
+
+// TotalEnergyJ returns DRAM plus codec energy.
+func (r Result) TotalEnergyJ() float64 { return r.Energy.Total() + r.ECCEnergyJ }
+
+// Runner executes one benchmark slice. Not safe for concurrent use; build
+// one Runner per goroutine.
+type Runner struct {
+	cfg                  Config
+	prof                 workload.Profile
+	ch                   *dram.Channel
+	ctl                  *memctrl.Controller
+	cpu                  *cpu.Core
+	sch                  scheme
+	src                  trace.Source
+	calc                 *power.Calculator
+	weakCost, strongCost ecc.CostModel
+
+	pendingWB []uint64
+	waitTag   uint64
+	waitDone  bool
+	waitAt    uint64
+	nextTag   uint64
+	curShift  int
+
+	// Next-line prefetcher state: lines ready in the buffer, in-flight
+	// prefetch tags, and a FIFO for buffer eviction.
+	prefReady    map[uint64]bool
+	prefInflight map[uint64]uint64 // tag -> line address
+	prefFIFO     []uint64
+	prefHits     uint64
+
+	// Phase-pattern state (phases.go).
+	idle           bool
+	activeCycles   uint64
+	idleTime       time.Duration
+	lastTransition PhaseTransition
+	segmentBudget  int64
+	checkpoints    []Checkpoint
+}
+
+// NewRunner assembles a runner for one profile. The trace source is the
+// profile's deterministic generator bounded by cfg.Instructions.
+func NewRunner(prof workload.Profile, cfg Config) (*Runner, error) {
+	gen := func(r *Runner) (trace.Source, error) {
+		return workload.NewGenerator(prof, cfg.DRAM.TotalLines(), cfg.Seed)
+	}
+	return newRunner(prof, cfg, gen)
+}
+
+// NewRunnerWithSource assembles a runner that replays an externally
+// provided trace (e.g. a file written by cmd/tracegen) instead of the
+// profile's generator. The profile still supplies the core's BaseCPI and
+// the run's labels.
+func NewRunnerWithSource(prof workload.Profile, src trace.Source, cfg Config) (*Runner, error) {
+	return newRunner(prof, cfg, func(*Runner) (trace.Source, error) { return src, nil })
+}
+
+func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.Source, error)) (*Runner, error) {
+	ch, err := dram.NewChannel(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:          cfg,
+		prof:         prof,
+		ch:           ch,
+		prefReady:    make(map[uint64]bool),
+		prefInflight: make(map[uint64]uint64),
+	}
+	r.ctl, err = memctrl.New(ch, cfg.Ctrl, r.onReadDone)
+	if err != nil {
+		return nil, err
+	}
+	r.cpu, err = cpu.New(prof.BaseCPI)
+	if err != nil {
+		return nil, err
+	}
+	if r.src, err = makeSrc(r); err != nil {
+		return nil, err
+	}
+	r.calc, err = power.NewCalculator(cfg.Power, cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	if r.sch, err = buildScheme(cfg); err != nil {
+		return nil, err
+	}
+	weak, err := ecc.NewLineSECDED()
+	if err != nil {
+		return nil, err
+	}
+	strong, err := ecc.NewBCH(6, false)
+	if err != nil {
+		return nil, err
+	}
+	r.weakCost = ecc.DefaultCost(weak)
+	r.strongCost = ecc.DefaultCost(strong)
+	return r, nil
+}
+
+func buildScheme(cfg Config) (scheme, error) {
+	switch cfg.Scheme {
+	case SchemeBaseline:
+		return &fixedScheme{k: SchemeBaseline}, nil
+	case SchemeSECDED:
+		return &fixedScheme{k: SchemeSECDED, decodeCycles: cfg.WeakDecodeCycles}, nil
+	case SchemeECC6:
+		return &fixedScheme{k: SchemeECC6, decodeCycles: cfg.StrongDecodeCycles, strong: true}, nil
+	case SchemeMECC:
+		mc := cfg.MECC
+		mc.TotalLines = cfg.DRAM.TotalLines()
+		ctl, err := core.New(mc)
+		if err != nil {
+			return nil, err
+		}
+		// The slice models a wake-up from idle: all lines strong.
+		if err := ctl.ExitIdle(0); err != nil {
+			return nil, err
+		}
+		return &meccScheme{
+			ctl:          ctl,
+			weakCycles:   cfg.WeakDecodeCycles,
+			strongCycles: cfg.StrongDecodeCycles,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadScheme, int(cfg.Scheme))
+	}
+}
+
+func (r *Runner) onReadDone(req *memctrl.Request) {
+	if req.Tag == r.waitTag {
+		r.waitDone = true
+		r.waitAt = req.DoneAt
+		return
+	}
+	if addr, ok := r.prefInflight[req.Tag]; ok {
+		delete(r.prefInflight, req.Tag)
+		r.bufferPrefetch(addr)
+	}
+}
+
+// prefetchBufferCap bounds the prefetch buffer (FIFO eviction).
+const prefetchBufferCap = 16
+
+// bufferPrefetch stores a completed prefetch, evicting the oldest entry
+// when full.
+func (r *Runner) bufferPrefetch(addr uint64) {
+	if r.prefReady[addr] {
+		return
+	}
+	if len(r.prefFIFO) >= prefetchBufferCap {
+		evict := r.prefFIFO[0]
+		r.prefFIFO = r.prefFIFO[1:]
+		delete(r.prefReady, evict)
+	}
+	r.prefReady[addr] = true
+	r.prefFIFO = append(r.prefFIFO, addr)
+}
+
+// prefetchInFlightFor finds the tag of an in-flight prefetch for the
+// address, if any.
+func (r *Runner) prefetchInFlightFor(addr uint64) (uint64, bool) {
+	for tag, a := range r.prefInflight {
+		if a == addr {
+			return tag, true
+		}
+	}
+	return 0, false
+}
+
+// maybePrefetch issues a background fetch of the line after a demand
+// address, when the prefetcher is on and the queue has room.
+func (r *Runner) maybePrefetch(demandAddr uint64) {
+	if !r.cfg.NextLinePrefetch {
+		return
+	}
+	next := (demandAddr + 1) % r.cfg.DRAM.TotalLines()
+	if r.prefReady[next] {
+		return
+	}
+	for _, a := range r.prefInflight {
+		if a == next {
+			return
+		}
+	}
+	if !r.ctl.CanEnqueueRead() {
+		return
+	}
+	r.nextTag++
+	r.prefInflight[r.nextTag] = next
+	if err := r.ctl.EnqueueRead(next, r.nextTag); err != nil {
+		// Unreachable: CanEnqueueRead was checked.
+		panic(err)
+	}
+}
+
+// ratio is CPU cycles per DRAM cycle.
+func (r *Runner) ratio() uint64 { return uint64(r.cfg.DRAM.CPURatio()) }
+
+// stepDRAM advances the memory system one DRAM cycle and opportunistically
+// flushes pending downgrade writebacks.
+func (r *Runner) stepDRAM() {
+	if len(r.pendingWB) > 0 && r.ctl.CanEnqueueWrite() {
+		addr := r.pendingWB[len(r.pendingWB)-1]
+		r.pendingWB = r.pendingWB[:len(r.pendingWB)-1]
+		if err := r.ctl.EnqueueWrite(addr, 0); err != nil {
+			// Unreachable: CanEnqueueWrite was checked.
+			panic(err)
+		}
+	}
+	r.ctl.Step()
+}
+
+// syncDRAM advances DRAM until its clock covers the CPU clock.
+func (r *Runner) syncDRAM() {
+	target := r.cpu.Now()
+	ratio := r.ratio()
+	for r.ch.Now()*ratio < target {
+		r.stepDRAM()
+	}
+}
+
+// updateRefreshShift propagates the scheme's SMD refresh divider.
+func (r *Runner) updateRefreshShift() {
+	if s := r.sch.refreshShift(); s != r.curShift {
+		r.curShift = s
+		r.ctl.SetRefreshShift(s)
+	}
+}
+
+// Run executes the configured slice and computes the result.
+func (r *Runner) Run() (Result, error) {
+	if err := r.RunActive(r.cfg.Instructions); err != nil {
+		return Result{}, err
+	}
+	return r.result(r.checkpoints), nil
+}
+
+// runLoop consumes trace records until the segment budget is spent,
+// then drains outstanding traffic so energy accounting is complete.
+func (r *Runner) runLoop() error {
+	checkAt := r.cfg.CheckpointEvery
+	r.updateRefreshShift()
+	for r.segmentBudget > 0 {
+		rec, ok := r.src.Next()
+		if !ok {
+			break
+		}
+		r.segmentBudget -= int64(rec.Gap) + 1
+		if rec.Gap > 0 {
+			r.cpu.Execute(uint64(rec.Gap))
+			r.syncDRAM()
+		}
+		if rec.Op == trace.OpWrite {
+			if err := r.sch.onWrite(rec.LineAddr, r.cpu.Now()); err != nil {
+				return err
+			}
+			for !r.ctl.CanEnqueueWrite() {
+				r.stepDRAM()
+			}
+			if err := r.ctl.EnqueueWrite(rec.LineAddr, 0); err != nil {
+				// Unreachable: space was ensured.
+				panic(err)
+			}
+			r.cpu.Execute(1)
+		} else {
+			extra, wb, err := r.sch.onRead(rec.LineAddr, r.cpu.Now())
+			if err != nil {
+				return err
+			}
+			if wb {
+				r.pendingWB = append(r.pendingWB, rec.LineAddr)
+			}
+			r.updateRefreshShift()
+			if err := r.doRead(rec.LineAddr, extra); err != nil {
+				return err
+			}
+			r.cpu.Execute(1)
+		}
+		if checkAt > 0 && int64(r.cpu.Retired()) >= checkAt*int64(len(r.checkpoints)+1) {
+			r.checkpoints = append(r.checkpoints, Checkpoint{
+				Instructions: r.cpu.Retired(),
+				IPC:          r.cpu.IPC(),
+			})
+		}
+	}
+	// Drain outstanding traffic so energy accounting is complete.
+	for len(r.pendingWB) > 0 {
+		r.stepDRAM()
+	}
+	if _, err := r.ctl.DrainAll(10_000_000); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (r *Runner) result(checkpoints []Checkpoint) Result {
+	ds := r.ch.Stats()
+	cs := r.ctl.Stats()
+	counts := r.sch.counts()
+
+	// For phase patterns, performance metrics cover active time only;
+	// the idle jumps would otherwise dilute IPC into meaninglessness.
+	cycles := r.cpu.Now()
+	if r.activeCycles > 0 {
+		cycles = r.activeCycles
+	}
+	res := Result{
+		Benchmark:      r.prof.Name,
+		Scheme:         r.sch.kind(),
+		Instructions:   r.cpu.Retired(),
+		Cycles:         cycles,
+		MemStallCycles: r.cpu.MemStallCycles(),
+		DRAM:           ds,
+		Ctrl:           cs,
+		Energy:         r.calc.Energy(ds),
+		Checkpoints:    checkpoints,
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(cs.ReadsEnqueued) / float64(res.Instructions) * 1000
+	}
+	res.AvgReadLatencyCPU = cs.AvgReadLatency() * float64(r.ratio())
+	res.PrefetchHits = r.prefHits
+	if m := r.sch.mecc(); m != nil {
+		s := m.Stats()
+		res.MECC = &s
+	}
+	res.ECCEnergyJ = (float64(counts.weakDecodes)*r.weakCost.DecodeEnergyPJ +
+		float64(counts.strongDecodes)*r.strongCost.DecodeEnergyPJ +
+		float64(counts.weakEncodes)*r.weakCost.EncodeEnergyPJ +
+		float64(counts.strongEncodes)*r.strongCost.EncodeEnergyPJ) * 1e-12
+	res.ActiveTimeSec = float64(res.Cycles) / float64(r.cfg.DRAM.CPUClockHz)
+	if res.ActiveTimeSec > 0 {
+		res.ActivePowerW = res.TotalEnergyJ() / res.ActiveTimeSec
+	}
+	res.EDP = res.TotalEnergyJ() * res.ActiveTimeSec
+	return res
+}
+
+// RunBenchmark is the one-call entry point: simulate one profile under
+// one configuration.
+func RunBenchmark(prof workload.Profile, cfg Config) (Result, error) {
+	r, err := NewRunner(prof, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run()
+}

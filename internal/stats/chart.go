@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of an ASCII bar chart.
+type Bar struct {
+	// Label names the bar; Series optionally tags grouped charts.
+	Label, Series string
+	// Value is the bar length (non-negative).
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars, the terminal stand-in for
+// the paper's figures. Values are scaled to the configured width; an
+// optional reference line (e.g. the 1.0 of a normalized-IPC plot) is
+// marked with '|'.
+type BarChart struct {
+	width     int
+	reference float64
+	bars      []Bar
+}
+
+// NewBarChart builds a chart whose longest bar spans width characters.
+func NewBarChart(width int) *BarChart {
+	if width < 10 {
+		width = 10
+	}
+	return &BarChart{width: width}
+}
+
+// SetReference draws a marker at the given value on every bar's scale.
+func (c *BarChart) SetReference(v float64) { c.reference = v }
+
+// Add appends one bar.
+func (c *BarChart) Add(label, series string, value float64) {
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		value = 0
+	}
+	c.bars = append(c.bars, Bar{Label: label, Series: series, Value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.bars) == 0 {
+		return ""
+	}
+	maxVal := c.reference
+	labelW, seriesW := 0, 0
+	for _, b := range c.bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if len(b.Series) > seriesW {
+			seriesW = len(b.Series)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	prevLabel := ""
+	for _, b := range c.bars {
+		n := int(b.Value / maxVal * float64(c.width))
+		label := b.Label
+		if label == prevLabel {
+			label = "" // group consecutive series visually
+		} else {
+			prevLabel = b.Label
+		}
+		line := []byte(strings.Repeat("#", n) + strings.Repeat(" ", c.width-n))
+		if c.reference > 0 {
+			ref := int(c.reference / maxVal * float64(c.width))
+			if ref >= len(line) {
+				ref = len(line) - 1
+			}
+			if ref >= 0 {
+				line[ref] = '|'
+			}
+		}
+		if seriesW > 0 {
+			fmt.Fprintf(&sb, "%-*s %-*s %s %.3f\n", labelW, label, seriesW, b.Series, line, b.Value)
+		} else {
+			fmt.Fprintf(&sb, "%-*s %s %.3f\n", labelW, label, line, b.Value)
+		}
+	}
+	return sb.String()
+}

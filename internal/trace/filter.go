@@ -1,0 +1,51 @@
+package trace
+
+import "repro/internal/cache"
+
+// CacheFilter adapts a raw (pre-LLC) access stream into a miss stream:
+// hits are folded into the following record's instruction gap, misses
+// become reads, and dirty evictions become writebacks — the
+// transformation that turns a CPU reference trace into a USIMM-style
+// memory trace.
+type CacheFilter struct {
+	src        Source
+	cache      *cache.Cache
+	pendingGap uint64
+	pendingWB  []uint64
+}
+
+// NewCacheFilter wraps src with the cache.
+func NewCacheFilter(src Source, c *cache.Cache) *CacheFilter {
+	return &CacheFilter{src: src, cache: c}
+}
+
+// Next implements Source.
+func (f *CacheFilter) Next() (Record, bool) {
+	if n := len(f.pendingWB); n > 0 {
+		wb := f.pendingWB[n-1]
+		f.pendingWB = f.pendingWB[:n-1]
+		return Record{Op: OpWrite, LineAddr: wb}, true
+	}
+	for {
+		rec, ok := f.src.Next()
+		if !ok {
+			return Record{}, false
+		}
+		f.pendingGap += uint64(rec.Gap)
+		res := f.cache.Access(rec.LineAddr, rec.Op == OpWrite)
+		if res.Hit {
+			// The access itself retires as one more gap instruction.
+			f.pendingGap++
+			continue
+		}
+		if res.WritebackValid {
+			f.pendingWB = append(f.pendingWB, res.Writeback)
+		}
+		gap := f.pendingGap
+		f.pendingGap = 0
+		if gap > 1<<32-1 {
+			gap = 1<<32 - 1
+		}
+		return Record{Gap: uint32(gap), Op: OpRead, LineAddr: res.Fill}, true
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestCacheFilterHitsFoldIntoGaps(t *testing.T) {
+	c, err := cache.New(1<<12, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream: miss A, hit A, hit A, miss B. The two hits must fold into
+	// B's gap.
+	raw := []Record{
+		{Gap: 10, Op: OpRead, LineAddr: 100},
+		{Gap: 5, Op: OpRead, LineAddr: 100},
+		{Gap: 5, Op: OpRead, LineAddr: 100},
+		{Gap: 3, Op: OpRead, LineAddr: 200},
+	}
+	f := NewCacheFilter(NewSliceSource(raw), c)
+	r1, ok := f.Next()
+	if !ok || r1.LineAddr != 100 || r1.Gap != 10 {
+		t.Fatalf("first miss: %+v", r1)
+	}
+	r2, ok := f.Next()
+	if !ok || r2.LineAddr != 200 {
+		t.Fatalf("second miss: %+v", r2)
+	}
+	// Gap = 5 + 1(hit) + 5 + 1(hit) + 3 = 15.
+	if r2.Gap != 15 {
+		t.Errorf("folded gap = %d, want 15", r2.Gap)
+	}
+	if _, ok := f.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+}
+
+func TestCacheFilterEmitsWritebacks(t *testing.T) {
+	// Tiny cache (2 sets x 2 ways) forces dirty evictions.
+	c, err := cache.New(256, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []Record{
+		{Op: OpWrite, LineAddr: 0}, // dirty fill, set 0
+		{Op: OpRead, LineAddr: 2},  // set 0
+		{Op: OpRead, LineAddr: 4},  // set 0: evicts dirty 0
+	}
+	f := NewCacheFilter(NewSliceSource(raw), c)
+	var recs []Record
+	for {
+		r, ok := f.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	// misses: 0, 2, 4; writeback of 0 after the third miss.
+	if len(recs) != 4 {
+		t.Fatalf("records = %d: %+v", len(recs), recs)
+	}
+	if recs[3].Op != OpWrite || recs[3].LineAddr != 0 {
+		t.Errorf("writeback record = %+v", recs[3])
+	}
+}
+
+func TestCacheFilterMissRateConsistency(t *testing.T) {
+	c, err := cache.New(1<<14, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]Record, 50_000)
+	for i := range raw {
+		op := OpRead
+		if rng.Intn(4) == 0 {
+			op = OpWrite
+		}
+		raw[i] = Record{Gap: uint32(rng.Intn(10)), Op: op, LineAddr: uint64(rng.Intn(2048))}
+	}
+	f := NewCacheFilter(NewSliceSource(raw), c)
+	s := Summarize(f)
+	// The filter's read count equals the cache's miss count.
+	if s.Reads != c.Stats().Misses {
+		t.Errorf("filtered reads %d != cache misses %d", s.Reads, c.Stats().Misses)
+	}
+	if s.Writes != c.Stats().Writebacks {
+		t.Errorf("filtered writes %d != writebacks %d", s.Writes, c.Stats().Writebacks)
+	}
+	// Instruction count is conserved: every raw access and gap appears
+	// downstream (writeback records are not instructions — Summarize
+	// counts them, so subtract — and a hit tail may remain pending).
+	var rawInstr uint64
+	for _, r := range raw {
+		rawInstr += uint64(r.Gap) + 1
+	}
+	downstream := s.Instructions - s.Writes
+	if downstream > rawInstr || downstream < rawInstr-uint64(len(raw)) {
+		t.Errorf("instructions %d vs raw %d", downstream, rawInstr)
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText must never panic on arbitrary input, and anything it
+// accepts must round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("1 R 0x10\n2 W 0x20\n")
+	f.Add("# comment\n\n")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, NewSliceSource(recs)); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip length %d != %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader must never panic on arbitrary bytes.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource([]Record{{Gap: 5, Op: OpRead, LineAddr: 99}})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MTR1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10_000; i++ {
+			if _, ok := br.Next(); !ok {
+				break
+			}
+		}
+	})
+}

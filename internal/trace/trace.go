@@ -1,0 +1,273 @@
+// Package trace defines the memory-access trace format the simulator
+// consumes, in the spirit of USIMM's input traces: each record is a count
+// of non-memory instructions since the previous record, an operation
+// (read miss or writeback), and a cache-line address. Text and compact
+// binary encodings are provided, plus streaming interfaces so synthetic
+// workloads can be simulated without materializing traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by trace parsing.
+var (
+	ErrBadRecord = errors.New("trace: malformed record")
+	ErrBadMagic  = errors.New("trace: bad binary magic")
+)
+
+// Op is the access type.
+type Op byte
+
+// Operations.
+const (
+	// OpRead is a demand read (LLC miss).
+	OpRead Op = iota + 1
+	// OpWrite is a writeback.
+	OpWrite
+)
+
+// String renders the op as the trace letter.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Record is one trace entry.
+type Record struct {
+	// Gap is the number of non-memory instructions retired before this
+	// access.
+	Gap uint32
+	// Op is the access type.
+	Op Op
+	// LineAddr is the cache-line address.
+	LineAddr uint64
+}
+
+// Source streams records. Next returns ok=false at end of stream.
+type Source interface {
+	Next() (Record, bool)
+}
+
+// SliceSource adapts a slice of records to a Source.
+type SliceSource struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceSource wraps recs (not copied).
+func NewSliceSource(recs []Record) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the source.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// binaryMagic heads binary trace files.
+const binaryMagic = "MTR1"
+
+// WriteText writes records in the text format "<gap> <R|W> <hexaddr>".
+func WriteText(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s 0x%x\n", r.Gap, r.Op, r.LineAddr); err != nil {
+			return fmt.Errorf("trace: write text: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadText parses the text format. Blank lines and lines starting with
+// '#' are ignored.
+func ReadText(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadRecord, lineNo, text)
+		}
+		gap, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d gap: %v", ErrBadRecord, lineNo, err)
+		}
+		var op Op
+		switch fields[1] {
+		case "R", "r":
+			op = OpRead
+		case "W", "w":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("%w: line %d op %q", ErrBadRecord, lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d addr: %v", ErrBadRecord, lineNo, err)
+		}
+		out = append(out, Record{Gap: uint32(gap), Op: op, LineAddr: addr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// WriteBinary writes records in the compact varint format.
+func WriteBinary(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		n := binary.PutUvarint(buf[:], uint64(r.Gap)<<1|uint64(r.Op-OpRead))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+		n = binary.PutUvarint(buf[:], r.LineAddr)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// BinaryReader streams records from the binary format.
+type BinaryReader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewBinaryReader validates the magic and prepares a streaming reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
+	}
+	return &BinaryReader{br: br}, nil
+}
+
+// Next implements Source.
+func (b *BinaryReader) Next() (Record, bool) {
+	if b.err != nil {
+		return Record{}, false
+	}
+	head, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		b.err = err
+		return Record{}, false
+	}
+	addr, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		b.err = fmt.Errorf("%w: truncated record", ErrBadRecord)
+		return Record{}, false
+	}
+	return Record{
+		Gap:      uint32(head >> 1),
+		Op:       OpRead + Op(head&1),
+		LineAddr: addr,
+	}, true
+}
+
+// Err returns the terminal error, or nil at clean EOF.
+func (b *BinaryReader) Err() error {
+	if b.err == io.EOF || b.err == nil {
+		return nil
+	}
+	return b.err
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	// Records, Reads, Writes count entries.
+	Records, Reads, Writes uint64
+	// Instructions is total gap + memory ops (each access counts as one
+	// instruction).
+	Instructions uint64
+	// UniqueLines is the footprint in distinct line addresses.
+	UniqueLines uint64
+}
+
+// MPKI returns read misses per kilo-instruction.
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Instructions) * 1000
+}
+
+// FootprintBytes returns the touched bytes given a line size.
+func (s Stats) FootprintBytes(lineBytes int) uint64 {
+	return s.UniqueLines * uint64(lineBytes)
+}
+
+// Summarize consumes a source and computes its statistics.
+func Summarize(src Source) Stats {
+	var s Stats
+	seen := make(map[uint64]struct{})
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Records++
+		s.Instructions += uint64(r.Gap) + 1
+		if r.Op == OpWrite {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		if _, dup := seen[r.LineAddr]; !dup {
+			seen[r.LineAddr] = struct{}{}
+			s.UniqueLines++
+		}
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		op := OpRead
+		if rng.Intn(3) == 0 {
+			op = OpWrite
+		}
+		out[i] = Record{
+			Gap:      uint32(rng.Intn(5000)),
+			Op:       op,
+			LineAddr: uint64(rng.Int63n(1 << 24)),
+		}
+	}
+	return out
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := randRecords(500, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := randRecords(500, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		r, ok := br.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d: %v", i, br.Err())
+		}
+		if r != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, r, recs[i])
+		}
+	}
+	if _, ok := br.Next(); ok {
+		t.Error("stream should have ended")
+	}
+	if err := br.Err(); err != nil {
+		t.Errorf("clean EOF reported error: %v", err)
+	}
+}
+
+func TestReadTextTolerant(t *testing.T) {
+	in := "# comment\n\n12 R 0xff\n3 w 10\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != (Record{Gap: 12, Op: OpRead, LineAddr: 0xff}) {
+		t.Errorf("rec 0 = %+v", got[0])
+	}
+	if got[1] != (Record{Gap: 3, Op: OpWrite, LineAddr: 0x10}) {
+		t.Errorf("rec 1 = %+v", got[1])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 R",          // too few fields
+		"x R 0x10",     // bad gap
+		"1 Q 0x10",     // bad op
+		"1 R zz",       // bad addr
+		"1 R 0x10 bla", // too many fields
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText(%q): want error", in)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := NewBinaryReader(strings.NewReader("NOPE....")); err == nil {
+		t.Error("want magic error")
+	}
+	if _, err := NewBinaryReader(strings.NewReader("")); err == nil {
+		t.Error("want magic error on empty input")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	recs := randRecords(10, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	br, err := NewBinaryReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := br.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n >= 10 {
+		t.Error("truncated stream yielded all records")
+	}
+	if br.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	src := NewSliceSource(randRecords(3, 4))
+	for i := 0; i < 3; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatal("early end")
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("should be exhausted")
+	}
+	src.Reset()
+	if _, ok := src.Next(); !ok {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Gap: 999, Op: OpRead, LineAddr: 1},
+		{Gap: 999, Op: OpRead, LineAddr: 2},
+		{Gap: 0, Op: OpWrite, LineAddr: 1},
+	}
+	s := Summarize(NewSliceSource(recs))
+	if s.Records != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Instructions != 2001 {
+		t.Errorf("instructions = %d", s.Instructions)
+	}
+	if s.UniqueLines != 2 {
+		t.Errorf("unique lines = %d", s.UniqueLines)
+	}
+	// MPKI = 2 reads / 2.001 kilo-instructions ≈ 1.0.
+	if got := s.MPKI(); got < 0.99 || got > 1.01 {
+		t.Errorf("MPKI = %v", got)
+	}
+	if got := s.FootprintBytes(64); got != 128 {
+		t.Errorf("footprint = %d", got)
+	}
+	if (Stats{}).MPKI() != 0 {
+		t.Error("empty MPKI should be 0")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Error("op strings")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown op string")
+	}
+}
