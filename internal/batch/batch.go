@@ -1,0 +1,48 @@
+// Package batch provides the shared fork-join primitive behind the
+// batched encode/decode sweep APIs (internal/bch, internal/ecc): split n
+// independent items into contiguous chunks and run the chunks on a pool
+// of up to GOMAXPROCS goroutines. Work functions receive disjoint [lo,hi)
+// ranges, so they may write to per-index output slices without
+// synchronization.
+package batch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn over [0, n) split into contiguous [lo, hi) chunks, one per
+// worker goroutine. The worker count is capped by GOMAXPROCS and by
+// n/minPerWorker (rounded up), so small batches run inline on the calling
+// goroutine with zero scheduling overhead. For returns once every chunk
+// has completed. minPerWorker < 1 is treated as 1.
+func For(n, minPerWorker int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if limit := (n + minPerWorker - 1) / minPerWorker; workers > limit {
+		workers = limit
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package batch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+		hits := make([]int32, n)
+		For(n, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForSmallBatchRunsInline(t *testing.T) {
+	// With n below minPerWorker the work must run on the calling
+	// goroutine (one chunk, full range).
+	calls := 0
+	For(5, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 5 {
+			t.Fatalf("inline chunk = [%d,%d), want [0,5)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestForWorkerCap(t *testing.T) {
+	var calls int32
+	For(1000, 1, func(lo, hi int) { atomic.AddInt32(&calls, 1) })
+	if got, max := int(calls), runtime.GOMAXPROCS(0); got > max {
+		t.Fatalf("chunks = %d > GOMAXPROCS = %d", got, max)
+	}
+}
+
+func TestForNegativeMinPerWorker(t *testing.T) {
+	covered := make([]int32, 10)
+	For(10, -3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, h := range covered {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package bch
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/gf2"
 	"repro/internal/line"
@@ -25,6 +26,15 @@ var (
 	ErrNoField     = errors.New("bch: no field large enough for requested code")
 	ErrParityWidth = errors.New("bch: parity does not fit the provided width")
 )
+
+// MaxT is the strongest supported correction capability; it bounds every
+// decoder scratch array (2t syndromes, t+1 locator coefficients, t error
+// positions), which is what lets the whole decode pipeline live on the
+// stack with zero heap allocations.
+const MaxT = 6
+
+// maxSyn is the syndrome count of the strongest code.
+const maxSyn = 2 * MaxT
 
 // Result describes the outcome of a decode.
 type Result struct {
@@ -59,6 +69,20 @@ type Code struct {
 	// byte. These cut decode cost ~8x over bitwise Horner.
 	synTable [][256]uint16
 	synMul   []uint16
+	// synStep[j-1] is the dense constant-multiplication table of
+	// alpha^(8j): synStep[j-1][x] = x * alpha^(8j). One lookup replaces
+	// the log/antilog multiply in the Horner step, and having all 2t
+	// tables lets syndromesInto advance every accumulator in a single
+	// fused pass over the data bytes.
+	synStep [][]uint16
+	// parShift[j-1] = alpha^(j*parityBits) splices the separately
+	// evaluated data and parity halves of the codeword back together:
+	// S_j = D(alpha^j)*alpha^(j*parityBits) + P(alpha^j).
+	parShift [maxSyn]uint16
+	// chienStep[k-1] is the dense constant-multiplication table of
+	// alpha^-k, the per-position update factor of locator term k in the
+	// incremental Chien search.
+	chienStep [][]uint16
 }
 
 // New constructs a t-error-correcting BCH code for 512 data bits.
@@ -73,9 +97,9 @@ func NewExtended(t int) (*Code, error) {
 }
 
 func newCode(t int, extended bool) (*Code, error) {
-	// t is capped at 6 so that parity (10t bits, +1 extended) fits the
+	// t is capped at MaxT so that parity (10t bits, +1 extended) fits the
 	// 64-bit check word — the same 64-bit spare budget the paper has.
-	if t < 1 || t > 6 {
+	if t < 1 || t > MaxT {
 		return nil, fmt.Errorf("%w: t=%d", ErrBadT, t)
 	}
 	// Smallest m with room for data + parity in 2^m - 1 positions.
@@ -121,8 +145,15 @@ func (c *Code) buildSynTables() {
 	f := c.field
 	c.synTable = make([][256]uint16, 2*c.t)
 	c.synMul = make([]uint16, 2*c.t)
+	c.synStep = make([][]uint16, 2*c.t)
+	c.chienStep = make([][]uint16, c.t)
+	for k := 1; k <= c.t; k++ {
+		c.chienStep[k-1] = f.MulTable(f.Alpha(f.Order() - k))
+	}
 	for j := 1; j <= 2*c.t; j++ {
 		c.synMul[j-1] = f.Alpha(8 * j)
+		c.synStep[j-1] = f.MulTable(f.Alpha(8 * j))
+		c.parShift[j-1] = f.Alpha(j * c.parityBits)
 		// powers[k] = alpha^(j*k) for bit k of a byte.
 		var powers [8]uint16
 		for k := 0; k < 8; k++ {
@@ -202,12 +233,15 @@ func (c *Code) Encode(data line.Line) uint64 {
 	var reg uint64
 	// Codeword polynomial convention: data bit i sits at exponent
 	// parityBits + i; encoding processes highest exponent first, so walk
-	// data bytes from the top. Within the LFSR, shifting in MSB-first
-	// bytes matches the table construction.
-	b := data.Bytes()
-	for i := len(b) - 1; i >= 0; i-- {
-		idx := byte(reg>>(deg-8)) ^ b[i]
-		reg = ((reg << 8) & regMask) ^ c.encTable[idx]
+	// data bytes from the top (byte i of the line is bits 8i..8i+7, i.e.
+	// word i/8 shifted by 8*(i%8)). Within the LFSR, shifting in
+	// MSB-first bytes matches the table construction.
+	for w := len(data) - 1; w >= 0; w-- {
+		word := data[w]
+		for s := 56; s >= 0; s -= 8 {
+			idx := byte(reg>>(deg-8)) ^ byte(word>>uint(s))
+			reg = ((reg << 8) & regMask) ^ c.encTable[idx]
+		}
 	}
 	if c.extended {
 		reg |= c.overallParity(data, reg) << deg
@@ -217,18 +251,16 @@ func (c *Code) Encode(data line.Line) uint64 {
 
 // overallParity returns the XOR of all data and base-parity bits.
 func (c *Code) overallParity(data line.Line, parity uint64) uint64 {
-	p := uint64(data.PopCount()) & 1
-	pm := parity
-	for pm != 0 {
-		p ^= pm & 1
-		pm >>= 1
-	}
-	return p & 1
+	return uint64(data.PopCount()+bits.OnesCount64(parity)) & 1
 }
 
 // Decode checks and repairs a received (data, parity) pair. The returned
 // line is the corrected data. Parity errors are corrected internally but
 // not returned, since the caller re-encodes on write-back.
+//
+// Decode performs no heap allocations: syndromes, the Berlekamp–Massey
+// locator and the Chien root list all live in fixed-size stack arrays
+// bounded by MaxT (guarded by TestDecodeZeroAllocs).
 func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 	deg := c.parityBits
 	extBit := uint64(0)
@@ -237,10 +269,12 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 		parity &= (uint64(1) << deg) - 1
 	}
 
-	synd := c.syndromes(data, parity)
+	var synd [maxSyn]uint16
+	c.syndromesInto(&data, parity, &synd)
+	nSyn := 2 * c.t
 	allZero := true
-	for _, s := range synd {
-		if s != 0 {
+	for j := 0; j < nSyn; j++ {
+		if synd[j] != 0 {
 			allZero = false
 			break
 		}
@@ -257,11 +291,13 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 		return data, Result{}
 	}
 
-	loc, ok := c.berlekampMassey(synd)
+	var lambda [maxSyn + 1]uint16
+	degL, ok := c.berlekampMassey(synd[:nSyn], &lambda)
 	if !ok {
 		return data, Result{Uncorrectable: true}
 	}
-	positions, ok := c.chienSearch(loc)
+	var positions [MaxT]int
+	nPos, ok := c.chienSearch(lambda[:degL+1], &positions)
 	if !ok {
 		return data, Result{Uncorrectable: true}
 	}
@@ -269,7 +305,7 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 		// Parity of the error count must match the extension-bit
 		// discrepancy; a mismatch means >t errors (e.g. t+1) slipped
 		// into a correctable-looking pattern.
-		errParity := uint64(len(positions)) & 1
+		errParity := uint64(nPos) & 1
 		wantParity := uint64(0)
 		if !extOK {
 			wantParity = 1
@@ -281,7 +317,7 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 
 	corrected := data
 	fixedParity := parity
-	for _, pos := range positions {
+	for _, pos := range positions[:nPos] {
 		if pos >= deg {
 			corrected = corrected.FlipBit(pos - deg)
 		} else {
@@ -290,39 +326,61 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 	}
 	// Verify: syndromes of the corrected word must vanish, otherwise the
 	// decoder was about to miscorrect.
-	recheck := c.syndromes(corrected, fixedParity)
-	for _, s := range recheck {
-		if s != 0 {
+	var recheck [maxSyn]uint16
+	c.syndromesInto(&corrected, fixedParity, &recheck)
+	for j := 0; j < nSyn; j++ {
+		if recheck[j] != 0 {
 			return data, Result{Uncorrectable: true}
 		}
 	}
-	return corrected, Result{CorrectedBits: len(positions)}
+	return corrected, Result{CorrectedBits: nPos}
 }
 
-// syndromes computes S_1..S_2t of the received polynomial byte-at-a-time
-// (see buildSynTables). Data bit i is the coefficient of x^(parityBits+i);
-// parity bit j of x^j.
+// syndromes computes S_1..S_2t of the received polynomial. It is the
+// allocating convenience wrapper around syndromesInto, kept for tests.
 func (c *Code) syndromes(data line.Line, parity uint64) []uint16 {
-	f := c.field
+	var scratch [maxSyn]uint16
+	c.syndromesInto(&data, parity, &scratch)
 	synd := make([]uint16, 2*c.t)
-	b := data.Bytes()
-	for j := 1; j <= 2*c.t; j++ {
-		tbl := &c.synTable[j-1]
-		mul := c.synMul[j-1]
-		aj := f.Alpha(j)
-		// Horner over the full (shortened) codeword, highest exponent
-		// first: data bytes 63..0 (bits high-to-low within each byte are
-		// folded into the table), then parity bits deg-1..0.
-		var acc uint16
-		for i := len(b) - 1; i >= 0; i-- {
-			acc = f.Mul(acc, mul) ^ tbl[b[i]]
-		}
-		for bit := c.parityBits - 1; bit >= 0; bit-- {
-			acc = f.Mul(acc, aj) ^ uint16((parity>>uint(bit))&1)
-		}
-		synd[j-1] = acc
-	}
+	copy(synd, scratch[:])
 	return synd
+}
+
+// syndromesInto computes S_1..S_2t of the received polynomial into the
+// caller-provided scratch array, without allocating.
+//
+// The codeword splits as R(x) = D(x)*x^parityBits + P(x) with data bit i
+// the coefficient of x^(parityBits+i) and parity bit j of x^j. Both
+// halves are byte-aligned polynomials in their own frame, so a single
+// fused pass over the 64 data bytes advances all 2t Horner accumulators
+// per byte (one synStep constant-multiply lookup plus one synTable byte
+// evaluation each), eight more byte steps fold in the parity word, and
+// parShift splices the halves: S_j = D(a^j)*a^(j*parityBits) + P(a^j).
+// Bits of parity at or above parityBits are ignored, matching the
+// bit-serial reference.
+func (c *Code) syndromesInto(data *line.Line, parity uint64, out *[maxSyn]uint16) {
+	nSyn := 2 * c.t
+	parity &= (uint64(1) << c.parityBits) - 1
+	var accD, accP [maxSyn]uint16
+	for w := len(data) - 1; w >= 0; w-- {
+		word := data[w]
+		for s := 56; s >= 0; s -= 8 {
+			b := word >> uint(s) & 0xff
+			for j := 0; j < nSyn; j++ {
+				accD[j] = c.synStep[j][accD[j]] ^ c.synTable[j][b]
+			}
+		}
+	}
+	for s := 56; s >= 0; s -= 8 {
+		b := parity >> uint(s) & 0xff
+		for j := 0; j < nSyn; j++ {
+			accP[j] = c.synStep[j][accP[j]] ^ c.synTable[j][b]
+		}
+	}
+	f := c.field
+	for j := 0; j < nSyn; j++ {
+		out[j] = f.Mul(accD[j], c.parShift[j]) ^ accP[j]
+	}
 }
 
 // syndromesBitwise is the reference bit-serial implementation, kept for
@@ -348,12 +406,16 @@ func (c *Code) syndromesBitwise(data line.Line, parity uint64) []uint16 {
 }
 
 // berlekampMassey finds the error-locator polynomial Lambda from the
-// syndromes. It returns ok=false when the implied error count exceeds t.
-func (c *Code) berlekampMassey(synd []uint16) ([]uint16, bool) {
+// syndromes, writing its coefficients into the caller-provided array and
+// returning its degree. It returns ok=false when the implied error count
+// exceeds t. All working state lives in fixed-size stack arrays bounded
+// by the maximum syndrome count, so the routine never allocates.
+func (c *Code) berlekampMassey(synd []uint16, lambda *[maxSyn + 1]uint16) (int, bool) {
 	f := c.field
 	nSyn := len(synd)
-	lambda := make([]uint16, nSyn+1)
-	prev := make([]uint16, nSyn+1)
+	nLam := nSyn + 1 // logical length; array entries beyond it stay zero
+	var prev [maxSyn + 1]uint16
+	*lambda = [maxSyn + 1]uint16{}
 	lambda[0], prev[0] = 1, 1
 	l := 0
 	m := 1
@@ -369,60 +431,75 @@ func (c *Code) berlekampMassey(synd []uint16) ([]uint16, bool) {
 			continue
 		}
 		if 2*l <= r {
-			tmp := make([]uint16, len(lambda))
-			copy(tmp, lambda)
+			tmp := *lambda
 			coef, err := f.Div(d, b)
 			if err != nil {
-				return nil, false
+				return 0, false
 			}
-			for i := 0; i+m < len(lambda); i++ {
+			for i := 0; i+m < nLam; i++ {
 				lambda[i+m] ^= f.Mul(coef, prev[i])
 			}
 			l = r + 1 - l
-			copy(prev, tmp)
+			prev = tmp
 			b = d
 			m = 1
 		} else {
 			coef, err := f.Div(d, b)
 			if err != nil {
-				return nil, false
+				return 0, false
 			}
-			for i := 0; i+m < len(lambda); i++ {
+			for i := 0; i+m < nLam; i++ {
 				lambda[i+m] ^= f.Mul(coef, prev[i])
 			}
 			m++
 		}
 	}
 	if l > c.t {
-		return nil, false
+		return 0, false
 	}
-	return lambda[:l+1], true
+	return l, true
 }
 
-// chienSearch finds error positions as codeword exponents. It returns
-// ok=false when the locator does not split into deg(Lambda) distinct roots
-// within the shortened length.
-func (c *Code) chienSearch(lambda []uint16) ([]int, bool) {
-	f := c.field
+// chienSearch finds error positions as codeword exponents, writing them
+// into the caller-provided array and returning how many were found. It
+// returns ok=false when the locator does not split into deg(Lambda)
+// distinct roots within the shortened length.
+//
+// The search is incremental: successive evaluation points differ by a
+// factor alpha^-1, so term k of the sum is updated by one multiply with
+// alpha^-k instead of re-running Horner, and the scan exits as soon as
+// deg(Lambda) roots are found.
+func (c *Code) chienSearch(lambda []uint16, out *[MaxT]int) (int, bool) {
 	degL := len(lambda) - 1
 	if degL == 0 {
-		return nil, false
+		return 0, false
 	}
 	length := c.parityBits + line.Bits
-	var positions []int
-	// Error at position i corresponds to root alpha^(-i) of Lambda.
+	// Error at position i corresponds to root alpha^(-i) of Lambda; the
+	// first evaluation point is alpha^(n-0) = 1, so terms start at the
+	// raw coefficients, and each step multiplies term k by alpha^-k via
+	// its dense chienStep table (no log/antilog lookups or zero tests).
+	var terms [MaxT + 1]uint16
+	for k := 0; k <= degL; k++ {
+		terms[k] = lambda[k]
+	}
+	found := 0
 	for i := 0; i < length; i++ {
-		// Evaluate Lambda(alpha^(n-i)).
-		x := f.Alpha(c.n - i)
-		if f.Eval(lambda, x) == 0 {
-			positions = append(positions, i)
-			if len(positions) == degL {
-				break
+		// Evaluate at the current point and advance every term to the
+		// next one in the same pass.
+		v := terms[0]
+		for k := 1; k <= degL; k++ {
+			tk := terms[k]
+			v ^= tk
+			terms[k] = c.chienStep[k-1][tk]
+		}
+		if v == 0 {
+			out[found] = i
+			found++
+			if found == degL {
+				return found, true
 			}
 		}
 	}
-	if len(positions) != degL {
-		return nil, false
-	}
-	return positions, true
+	return found, false
 }

@@ -1,7 +1,9 @@
 package bch
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/gf2"
@@ -297,7 +299,7 @@ func BenchmarkDecodeECC6SixErrors(b *testing.B) {
 	}
 }
 
-// Property: the byte-table syndrome path agrees with the bit-serial
+// Property: the fused multi-syndrome path agrees with the bit-serial
 // reference on random received words (including corrupted ones).
 func TestSyndromeTableEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
@@ -315,6 +317,213 @@ func TestSyndromeTableEquivalence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// Differential property sweep over the whole code family: for every t in
+// 1..6, extended and non-extended, the fused single-pass syndrome
+// computation must agree with the bit-serial reference on random lines
+// carrying random error patterns (valid codewords perturbed by 0..t+3
+// flips across data and parity) and on entirely unmasked random parity
+// words — the fast path can never silently diverge.
+func TestSyndromeFusedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	check := func(c *Code, data line.Line, parity uint64, desc string) {
+		t.Helper()
+		fast := c.syndromes(data, parity)
+		slow := c.syndromesBitwise(data, parity)
+		for j := range fast {
+			if fast[j] != slow[j] {
+				t.Fatalf("%s S%d: fused=%d bitwise=%d", desc, j+1, fast[j], slow[j])
+			}
+		}
+	}
+	for tcap := 1; tcap <= 6; tcap++ {
+		for _, extended := range []bool{false, true} {
+			c := mustCode(t, tcap, extended)
+			for trial := 0; trial < 25; trial++ {
+				data := randLine(rng)
+				// Random error pattern on a valid codeword.
+				parity := c.Encode(data)
+				nErr := rng.Intn(tcap + 4)
+				cd, cp := corruptWord(rng, c, data, parity, nErr)
+				check(c, cd, cp, fmt.Sprintf("t=%d ext=%v trial=%d nErr=%d", tcap, extended, trial, nErr))
+				// Entirely random received word, high parity bits NOT
+				// masked: both paths must ignore bits >= parityBits.
+				check(c, randLine(rng), rng.Uint64(),
+					fmt.Sprintf("t=%d ext=%v trial=%d random", tcap, extended, trial))
+			}
+		}
+	}
+}
+
+// The decode hot path must be allocation-free on the clean (all-zero
+// syndrome) path and on the full correction pipeline (syndromes, BM,
+// Chien, recheck), for both plain and extended codes.
+func TestDecodeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, extended := range []bool{false, true} {
+		c := mustCode(t, 6, extended)
+		data := randLine(rng)
+		parity := c.Encode(data)
+		cd, cp := corruptWord(rng, c, data, parity, 6)
+
+		if n := testing.AllocsPerRun(200, func() {
+			if _, res := c.Decode(data, parity); res.Uncorrectable {
+				t.Fatal("clean decode flagged uncorrectable")
+			}
+		}); n != 0 {
+			t.Errorf("ext=%v clean Decode allocates %.1f times per run, want 0", extended, n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, res := c.Decode(cd, cp); res.Uncorrectable {
+				t.Fatal("6-error decode flagged uncorrectable")
+			}
+		}); n != 0 {
+			t.Errorf("ext=%v corrected Decode allocates %.1f times per run, want 0", extended, n)
+		}
+	}
+	// The detected-uncorrectable path matters for sweeps over badly
+	// decayed memories; it must not allocate either.
+	c := mustCode(t, 2, false)
+	data := randLine(rng)
+	cd, cp := corruptWord(rng, c, data, c.Encode(data), 5)
+	if _, res := c.Decode(cd, cp); res.Uncorrectable {
+		if n := testing.AllocsPerRun(200, func() { c.Decode(cd, cp) }); n != 0 {
+			t.Errorf("uncorrectable Decode allocates %.1f times per run, want 0", n)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() { c.Encode(data) }); n != 0 {
+		t.Errorf("Encode allocates %.1f times per run, want 0", n)
+	}
+}
+
+// Batch encode/decode must agree element-for-element with the sequential
+// API; run with GOMAXPROCS raised so the worker pool actually forks (and
+// the race detector sees the fan-out).
+func TestBatchMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	rng := rand.New(rand.NewSource(26))
+	c := mustCode(t, 6, false)
+	const n = 300
+	datas := make([]line.Line, n)
+	parities := make([]uint64, n)
+	for i := range datas {
+		datas[i] = randLine(rng)
+	}
+	c.EncodeBatch(datas, parities)
+	for i := range datas {
+		if want := c.Encode(datas[i]); parities[i] != want {
+			t.Fatalf("EncodeBatch[%d] = %#x, want %#x", i, parities[i], want)
+		}
+	}
+	// Corrupt a spread of error weights, including uncorrectable ones.
+	bads := make([]line.Line, n)
+	badPar := make([]uint64, n)
+	for i := range datas {
+		bads[i], badPar[i] = corruptWord(rng, c, datas[i], parities[i], i%9)
+	}
+	out := make([]line.Line, n)
+	results := make([]Result, n)
+	c.DecodeBatch(bads, badPar, out, results)
+	for i := range datas {
+		wantLine, wantRes := c.Decode(bads[i], badPar[i])
+		if out[i] != wantLine || results[i] != wantRes {
+			t.Fatalf("DecodeBatch[%d] diverges from Decode: got (%v,%+v) want (%v,%+v)",
+				i, out[i], results[i], wantLine, wantRes)
+		}
+	}
+	// In-place decode: out aliasing data must give the same results.
+	c.DecodeBatch(bads, badPar, bads, results)
+	for i := range datas {
+		if bads[i] != out[i] {
+			t.Fatalf("aliased DecodeBatch[%d] diverges", i)
+		}
+	}
+}
+
+func TestBatchLengthMismatchPanics(t *testing.T) {
+	c := mustCode(t, 6, false)
+	for name, fn := range map[string]func(){
+		"encode": func() { c.EncodeBatch(make([]line.Line, 3), make([]uint64, 2)) },
+		"decode": func() {
+			c.DecodeBatch(make([]line.Line, 3), make([]uint64, 3), make([]line.Line, 3), make([]Result, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkDecodeClean measures the dominant sweep case: a codeword with
+// no errors (syndromes all zero, nothing after the first pass).
+func BenchmarkDecodeClean(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := c.Decode(data, parity)
+		if res.Uncorrectable || res.CorrectedBits != 0 {
+			b.Fatal("clean decode failed")
+		}
+	}
+}
+
+// BenchmarkDecodeT6 measures the worst correctable case: six errors
+// through the full syndrome/BM/Chien/recheck pipeline.
+func BenchmarkDecodeT6(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	data := randLine(rng)
+	parity := c.Encode(data)
+	cd, cp := corruptWord(rng, c, data, parity, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := c.Decode(cd, cp)
+		if res.Uncorrectable {
+			b.Fatal("uncorrectable")
+		}
+	}
+}
+
+// BenchmarkDecodeBatchClean measures per-line cost through the batch API
+// (inline on one core; fans out under higher GOMAXPROCS).
+func BenchmarkDecodeBatchClean(b *testing.B) {
+	c, err := New(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	const n = 1024
+	datas := make([]line.Line, n)
+	parities := make([]uint64, n)
+	for i := range datas {
+		datas[i] = randLine(rng)
+	}
+	c.EncodeBatch(datas, parities)
+	out := make([]line.Line, n)
+	results := make([]Result, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeBatch(datas, parities, out, results)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/line")
 }
 
 func BenchmarkSyndromesFast(b *testing.B) {

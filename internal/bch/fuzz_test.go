@@ -6,33 +6,61 @@ import (
 	"repro/internal/line"
 )
 
-// FuzzDecodeNeverPanics drives the ECC-6 decoder with arbitrary received
-// words: whatever garbage arrives, Decode must return (never panic) and
-// must never claim to have corrected more than t errors.
+// FuzzDecodeNeverPanics drives the ECC-6 decoders (plain and extended)
+// with arbitrary received words: whatever garbage arrives, Decode must
+// return (never panic) and must never claim to have corrected more than
+// t errors.
 func FuzzDecodeNeverPanics(f *testing.F) {
-	code, err := New(6)
+	plain, err := New(6)
 	if err != nil {
 		f.Fatal(err)
 	}
+	ext, err := NewExtended(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codes := []*Code{plain, ext}
 	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(0xdeadbeef), uint64(0xcafebabe), uint64(1)<<59, uint64(0xffffffffffffffff), uint64(0x123456789))
+	// Seed the corpus with the two interesting decoder edges:
+	// a clean codeword whose parity carries t+1 = 7 flips (must take the
+	// detected-uncorrectable path, never miscorrect), and an extended
+	// codeword with 6 parity flips plus the extension bit itself flipped
+	// (exercises the overall-parity miscorrection guard).
+	{
+		w0, w1, w2, w3 := uint64(0x0123456789abcdef), uint64(0xfedcba98), uint64(1)<<33, uint64(42)
+		data := line.Line{w0, w1, w2, w3, w0 ^ w1, w1 ^ w2, w2 ^ w3, w3 ^ w0}
+		p := plain.Encode(data)
+		for i := 0; i < 7; i++ {
+			p ^= uint64(1) << (i * 8)
+		}
+		f.Add(w0, w1, w2, w3, p)
+		pe := ext.Encode(data)
+		pe ^= uint64(1) << 60 // extension bit
+		for i := 0; i < 6; i++ {
+			pe ^= uint64(1) << (i * 9)
+		}
+		f.Add(w0, w1, w2, w3, pe)
+	}
 	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, parity uint64) {
 		data := line.Line{w0, w1, w2, w3, w0 ^ w1, w1 ^ w2, w2 ^ w3, w3 ^ w0}
-		parity &= (1 << 60) - 1
-		fixed, res := code.Decode(data, parity)
-		if res.CorrectedBits > code.T() {
-			t.Fatalf("claimed %d corrections > t=%d", res.CorrectedBits, code.T())
-		}
-		if res.Uncorrectable && fixed != data {
-			t.Fatal("uncorrectable result must return input unchanged")
-		}
-		if !res.Uncorrectable {
-			// Whatever it "corrected" must re-encode consistently: the
-			// result is a valid codeword.
-			fixedParity := code.Encode(fixed)
-			_, recheck := code.Decode(fixed, fixedParity)
-			if recheck.CorrectedBits != 0 || recheck.Uncorrectable {
-				t.Fatal("corrected output is not a clean codeword")
+		for _, code := range codes {
+			p := parity & ((uint64(1) << code.ParityBits()) - 1)
+			fixed, res := code.Decode(data, p)
+			if res.CorrectedBits > code.T() {
+				t.Fatalf("ext=%v: claimed %d corrections > t=%d", code.Extended(), res.CorrectedBits, code.T())
+			}
+			if res.Uncorrectable && fixed != data {
+				t.Fatalf("ext=%v: uncorrectable result must return input unchanged", code.Extended())
+			}
+			if !res.Uncorrectable {
+				// Whatever it "corrected" must re-encode consistently: the
+				// result is a valid codeword.
+				fixedParity := code.Encode(fixed)
+				_, recheck := code.Decode(fixed, fixedParity)
+				if recheck.CorrectedBits != 0 || recheck.Uncorrectable {
+					t.Fatalf("ext=%v: corrected output is not a clean codeword", code.Extended())
+				}
 			}
 		}
 	})

@@ -38,6 +38,67 @@ func (b *bitset) setAll(v bool) {
 	}
 }
 
+// countRange returns the number of set bits in [lo, hi), word-at-a-time.
+func (b *bitset) countRange(lo, hi uint64) uint64 {
+	if lo >= hi {
+		return 0
+	}
+	var n int
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := b.words[w]
+		if w == lo>>6 {
+			word &^= (1 << (lo & 63)) - 1
+		}
+		if w == (hi-1)>>6 && hi&63 != 0 {
+			word &= (1 << (hi & 63)) - 1
+		}
+		n += bits.OnesCount64(word)
+	}
+	return uint64(n)
+}
+
+// setRange sets every bit in [lo, hi), word-at-a-time.
+func (b *bitset) setRange(lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		mask := ^uint64(0)
+		if w == lo>>6 {
+			mask &^= (1 << (lo & 63)) - 1
+		}
+		if w == (hi-1)>>6 && hi&63 != 0 {
+			mask &= (1 << (hi & 63)) - 1
+		}
+		b.words[w] |= mask
+	}
+}
+
+// appendZeroIndices appends the indices of the clear bits in [lo, hi) to
+// buf, in increasing order, scanning whole words and popping cleared bits
+// with TrailingZeros — cost is proportional to words plus hits, not bits.
+func (b *bitset) appendZeroIndices(lo, hi uint64, buf []uint64) []uint64 {
+	if lo >= hi {
+		return buf
+	}
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		// Invert so clear bits become ones, and mask off out-of-range bits.
+		word := ^b.words[w]
+		if w == lo>>6 {
+			word &^= (1 << (lo & 63)) - 1
+		}
+		if w == (hi-1)>>6 && hi&63 != 0 {
+			word &= (1 << (hi & 63)) - 1
+		}
+		base := w << 6
+		for word != 0 {
+			buf = append(buf, base+uint64(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return buf
+}
+
 // count returns the number of set bits.
 func (b *bitset) count() uint64 {
 	var n int

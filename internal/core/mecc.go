@@ -226,6 +226,15 @@ func (c *Controller) IsStrong(lineAddr uint64) bool {
 // StrongLines returns how many lines are currently in strong mode.
 func (c *Controller) StrongLines() uint64 { return c.strongMode.count() }
 
+// AppendWeakLines appends the addresses of every line currently in weak
+// mode to buf, in increasing order, and returns the extended slice. The
+// scan is word-at-a-time over the mode bitset, so the data-storing
+// memory can gather an ECC-Upgrade sweep's work list without probing 16M
+// line bits one by one.
+func (c *Controller) AppendWeakLines(buf []uint64) []uint64 {
+	return c.strongMode.appendZeroIndices(0, c.cfg.TotalLines, buf)
+}
+
 // RefreshDividerBits returns the refresh divider currently in force:
 // slow refresh in idle mode, and — with SMD — also in active mode while
 // ECC-Downgrade stays disabled (memory remains fully ECC-6 protected).
@@ -337,6 +346,10 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 	}
 	c.noteActiveTime(nowCPU)
 
+	// The sweeps below run word-at-a-time over the mode bitset (count the
+	// weak lines in a region, then fill it) instead of testing each line
+	// bit individually — a 16 M-line sweep touches 256 K words, not 16 M
+	// bits.
 	var tr IdleTransition
 	if c.mdt != nil {
 		for r := uint64(0); r < c.mdt.len(); r++ {
@@ -349,12 +362,8 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 			if r == c.mdt.len()-1 {
 				hi = c.cfg.TotalLines
 			}
-			for a := lo; a < hi; a++ {
-				if !c.strongMode.get(a) {
-					c.strongMode.set(a, true)
-					tr.LinesUpgraded++
-				}
-			}
+			tr.LinesUpgraded += (hi - lo) - c.strongMode.countRange(lo, hi)
+			c.strongMode.setRange(lo, hi)
 			c.mdt.set(r, false)
 		}
 		// Sweep cost covers every line in the visited regions (they are
@@ -363,13 +372,10 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 	} else {
 		// Full-memory sweep.
 		tr.RegionsSwept = 1
-		for a := uint64(0); a < c.cfg.TotalLines; a++ {
-			if !c.strongMode.get(a) {
-				c.strongMode.set(a, true)
-				tr.LinesUpgraded++
-			}
-		}
-		tr.SweepCycles = c.cfg.TotalLines * uint64(c.cfg.UpgradeCyclesPerLine)
+		n := c.cfg.TotalLines
+		tr.LinesUpgraded = n - c.strongMode.countRange(0, n)
+		c.strongMode.setRange(0, n)
+		tr.SweepCycles = n * uint64(c.cfg.UpgradeCyclesPerLine)
 	}
 	tr.EnergyPJ = float64(tr.LinesUpgraded) * c.cfg.UpgradeEnergyPJPerLine
 

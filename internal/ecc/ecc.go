@@ -21,13 +21,11 @@ var (
 	ErrTooWide      = errors.New("ecc: codec does not fit the morphable layout")
 )
 
-// Result describes the outcome of a decode, shared across codecs.
-type Result struct {
-	// CorrectedBits is the number of repaired bit errors.
-	CorrectedBits int
-	// Uncorrectable is set when errors exceeded the code's capability.
-	Uncorrectable bool
-}
+// Result describes the outcome of a decode, shared across codecs. It is
+// an alias of bch.Result so the zero-copy batch decode paths can hand
+// bch result slices straight through; the hamming result type has the
+// same shape and converts.
+type Result = bch.Result
 
 // Codec is a line-granularity error-correcting code: it protects one
 // 64-byte cache line with at most 64 bits of stored check state.
@@ -47,12 +45,25 @@ type Codec interface {
 	Decode(data line.Line, check uint64) (line.Line, Result)
 }
 
+// BatchCodec is the optional bulk interface a Codec may implement to
+// encode or decode many independent lines at once (internally fanned out
+// over a worker pool). The sweep layers (ECC-Upgrade, scrub, integrity
+// Monte Carlo) probe for it and fall back to per-line calls otherwise.
+type BatchCodec interface {
+	Codec
+	// EncodeBatch computes check words for each line: out[i] = Encode(data[i]).
+	EncodeBatch(data []line.Line, out []uint64)
+	// DecodeBatch decodes each (data[i], check[i]) pair into out[i],
+	// results[i]. out may alias data.
+	DecodeBatch(data []line.Line, check []uint64, out []line.Line, results []Result)
+}
+
 // Compile-time interface compliance checks.
 var (
-	_ Codec = None{}
-	_ Codec = (*LineSECDED)(nil)
-	_ Codec = (*WordSECDED)(nil)
-	_ Codec = (*BCH)(nil)
+	_ Codec      = None{}
+	_ Codec      = (*LineSECDED)(nil)
+	_ Codec      = (*WordSECDED)(nil)
+	_ BatchCodec = (*BCH)(nil)
 )
 
 // None is the no-protection codec: zero storage, zero correction. It
@@ -229,6 +240,18 @@ func (b *BCH) Encode(data line.Line) uint64 { return b.code.Encode(data) }
 func (b *BCH) Decode(data line.Line, check uint64) (line.Line, Result) {
 	fixed, res := b.code.Decode(data, check)
 	return fixed, Result(res)
+}
+
+// EncodeBatch implements BatchCodec by delegating to the BCH worker-pool
+// encoder.
+func (b *BCH) EncodeBatch(data []line.Line, out []uint64) {
+	b.code.EncodeBatch(data, out)
+}
+
+// DecodeBatch implements BatchCodec by delegating to the BCH worker-pool
+// decoder (Result is an alias of bch.Result, so no conversion copy).
+func (b *BCH) DecodeBatch(data []line.Line, check []uint64, out []line.Line, results []Result) {
+	b.code.DecodeBatch(data, check, out, results)
 }
 
 // ByName constructs a codec from its registry name: "none", "secded-word",

@@ -62,72 +62,122 @@ func Integrity(trials int, stressBER float64, seed int64) (IntegrityResult, erro
 	weakInj := retention.NewInjector(seed+2, retention.JEDECBitErrorRate)
 
 	out := IntegrityResult{Trials: trials}
-	for i := 0; i < trials; i++ {
-		var data line.Line
-		for w := range data {
-			data[w] = rng.Uint64()
-		}
 
-		// Idle mode: strong encoding, slow-refresh BER over all stored
-		// bits. Spare layout: bits 0..3 mode, 4..63 code.
-		spare := m.Encode(data, ecc.ModeStrong)
-		bad, badSpare := data, spare
-		nErr := 0
-		modeHit := false
-		for _, pos := range inj.FlipPositions(line.Bits + ecc.SpareBits) {
-			nErr++
-			if pos < line.Bits {
-				bad = bad.FlipBit(pos)
-			} else {
-				sp := pos - line.Bits
-				if sp < ecc.ModeBits {
-					modeHit = true
+	// The Monte Carlo runs in three phases per chunk so the decode work —
+	// by far the dominant cost — can go through the batched worker-pool
+	// codec paths: (A) draw all random state sequentially, preserving the
+	// exact per-stream draw order of the original trial loop (data, then
+	// strong flips, then weak flips, then the forced first-trial flip);
+	// (B) batch-encode and batch-decode both modes; (C) tally in trial
+	// order. Results are bit-identical to the sequential loop.
+	const chunkTrials = 4096
+	size := trials
+	if size > chunkTrials {
+		size = chunkTrials
+	}
+	var (
+		datas   = make([]line.Line, size)
+		bads    = make([]line.Line, size)
+		spares  = make([]uint64, size)
+		evs     = make([]ecc.DecodeEvent, size)
+		wBads   = make([]line.Line, size)
+		wSpares = make([]uint64, size)
+		wEvs    = make([]ecc.DecodeEvent, size)
+		// Per-trial injected masks: the spare mask is XORed onto the
+		// encoded spare once it exists.
+		spareMasks  = make([]uint64, size)
+		wSpareMasks = make([]uint64, size)
+		modeHits    = make([]bool, size)
+		flipBuf     []int
+	)
+	for base := 0; base < trials; base += chunkTrials {
+		n := min(chunkTrials, trials-base)
+
+		// Phase A: sequential random draws, original order.
+		for i := 0; i < n; i++ {
+			var data line.Line
+			for w := range data {
+				data[w] = rng.Uint64()
+			}
+			datas[i] = data
+
+			// Idle mode: strong encoding, slow-refresh BER over all
+			// stored bits. Spare layout: bits 0..3 mode, 4..63 code.
+			bad, spareMask := data, uint64(0)
+			nErr := 0
+			modeHit := false
+			flipBuf = inj.FlipPositionsAppend(line.Bits+ecc.SpareBits, flipBuf[:0])
+			for _, pos := range flipBuf {
+				nErr++
+				if pos < line.Bits {
+					bad = bad.FlipBit(pos)
+				} else {
+					sp := pos - line.Bits
+					if sp < ecc.ModeBits {
+						modeHit = true
+					}
+					spareMask ^= uint64(1) << sp
 				}
-				badSpare ^= uint64(1) << sp
 			}
-		}
-		out.InjectedErrors += nErr
-		got, ev := m.Decode(bad, badSpare)
-		if modeHit {
-			out.ModeBitFlips++
-			if ev.Mode == ecc.ModeStrong {
-				out.ModeResolved++
+			out.InjectedErrors += nErr
+			bads[i], spareMasks[i], modeHits[i] = bad, spareMask, modeHit
+
+			// Active mode: weak encoding at the JEDEC-rate BER (1e-9):
+			// the occasional single error must be corrected by SECDED.
+			wBad, wSpareMask := data, uint64(0)
+			flipBuf = weakInj.FlipPositionsAppend(line.Bits+ecc.SpareBits, flipBuf[:0])
+			flips := flipBuf
+			if len(flips) == 0 && base+i == 0 {
+				// Force one single-bit event so the weak path is always
+				// exercised at least once.
+				flips = append(flips, rng.Intn(line.Bits))
 			}
-		}
-		switch {
-		case ev.Result.Uncorrectable:
-			out.StrongDetected++
-		case got == data:
-			out.StrongCorrected++
-		default:
-			out.SilentCorruptions++
+			if len(flips) > 1 {
+				flips = flips[:1]
+			}
+			for _, pos := range flips {
+				if pos < line.Bits {
+					wBad = wBad.FlipBit(pos)
+				} else {
+					wSpareMask ^= uint64(1) << (pos - line.Bits)
+				}
+			}
+			wBads[i], wSpareMasks[i] = wBad, wSpareMask
 		}
 
-		// Active mode: weak encoding at the JEDEC-rate BER (1e-9): the
-		// occasional single error must be corrected by line SECDED.
-		wSpare := m.Encode(data, ecc.ModeWeak)
-		wBad, wBadSpare := data, wSpare
-		flips := weakInj.FlipPositions(line.Bits + ecc.SpareBits)
-		if len(flips) == 0 && i == 0 {
-			// Force one single-bit event so the weak path is always
-			// exercised at least once.
-			flips = []int{rng.Intn(line.Bits)}
+		// Phase B: batched encode and decode, both modes.
+		m.EncodeBatch(datas[:n], ecc.ModeStrong, spares[:n])
+		for i := 0; i < n; i++ {
+			spares[i] ^= spareMasks[i]
 		}
-		if len(flips) > 1 {
-			flips = flips[:1]
+		m.DecodeBatch(bads[:n], spares[:n], bads[:n], evs[:n])
+		m.EncodeBatch(datas[:n], ecc.ModeWeak, wSpares[:n])
+		for i := 0; i < n; i++ {
+			wSpares[i] ^= wSpareMasks[i]
 		}
-		for _, pos := range flips {
-			if pos < line.Bits {
-				wBad = wBad.FlipBit(pos)
-			} else {
-				wBadSpare ^= uint64(1) << (pos - line.Bits)
+		m.DecodeBatch(wBads[:n], wSpares[:n], wBads[:n], wEvs[:n])
+
+		// Phase C: tally in trial order.
+		for i := 0; i < n; i++ {
+			if modeHits[i] {
+				out.ModeBitFlips++
+				if evs[i].Mode == ecc.ModeStrong {
+					out.ModeResolved++
+				}
 			}
-		}
-		wGot, wEv := m.Decode(wBad, wBadSpare)
-		if !wEv.Result.Uncorrectable && wGot == data {
-			out.WeakCorrected++
-		} else {
-			out.SilentCorruptions++
+			switch {
+			case evs[i].Result.Uncorrectable:
+				out.StrongDetected++
+			case bads[i] == datas[i]:
+				out.StrongCorrected++
+			default:
+				out.SilentCorruptions++
+			}
+			if !wEvs[i].Result.Uncorrectable && wBads[i] == datas[i] {
+				out.WeakCorrected++
+			} else {
+				out.SilentCorruptions++
+			}
 		}
 	}
 

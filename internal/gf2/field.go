@@ -157,6 +157,23 @@ func (f *Field) Pow(a uint16, e int) uint16 {
 	return f.exp[(f.log[a]*e)%f.n]
 }
 
+// MulTable returns the dense multiplication table of a fixed element:
+// tbl[x] = a*x for every field element x in [0, 2^m). A constant-factor
+// multiply becomes one bounds-checked load with no zero tests or log
+// lookups — the primitive behind the fused multi-syndrome Horner pass in
+// internal/bch. The table is freshly allocated and owned by the caller.
+func (f *Field) MulTable(a uint16) []uint16 {
+	tbl := make([]uint16, f.n+1)
+	if a == 0 {
+		return tbl
+	}
+	la := f.log[a]
+	for x := 1; x <= f.n; x++ {
+		tbl[x] = f.exp[la+f.log[x]]
+	}
+	return tbl
+}
+
 // Eval evaluates the polynomial p (coefficients over GF(2^m), p[i] is the
 // coefficient of x^i) at the point x, using Horner's rule.
 func (f *Field) Eval(p []uint16, x uint16) uint16 {

@@ -139,6 +139,26 @@ func TestAlphaOrder(t *testing.T) {
 	}
 }
 
+func TestMulTableMatchesMul(t *testing.T) {
+	for _, m := range []int{4, 8, 10} {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []uint16{0, 1, 2, f.Alpha(7), f.Alpha(f.Order() - 1), uint16(f.Order())} {
+			tbl := f.MulTable(a)
+			if len(tbl) != f.Order()+1 {
+				t.Fatalf("m=%d a=%d: table length %d, want %d", m, a, len(tbl), f.Order()+1)
+			}
+			for x := 0; x <= f.Order(); x++ {
+				if got, want := tbl[x], f.Mul(a, uint16(x)); got != want {
+					t.Fatalf("m=%d: MulTable(%d)[%d] = %d, want %d", m, a, x, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestEvalHorner(t *testing.T) {
 	f := mustField(t, 4)
 	// p(x) = 3 + 5x + x^2 over GF(16), evaluate at a few points against a

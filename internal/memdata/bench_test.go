@@ -1,0 +1,54 @@
+package memdata
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/line"
+)
+
+// BenchmarkUpgradeSweep measures the batched ECC-Upgrade sweep: every
+// line of an 8K-line memory is downgraded during an active phase, then
+// EnterIdle decodes each with the weak code and re-encodes it strong
+// through the batch codec paths. Setup (active-phase writes) is excluded
+// from the timer.
+func BenchmarkUpgradeSweep(b *testing.B) {
+	const lines = 8192
+	cfg := core.DefaultConfig(lines)
+	mem, err := New(lines, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(40))
+	contents := make([]line.Line, lines)
+	for i := range contents {
+		for w := range contents[i] {
+			contents[i][w] = rng.Uint64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := mem.ExitIdle(0); err != nil {
+			b.Fatal(err)
+		}
+		// Writes in active mode land weak (downgrades enabled without
+		// SMD), queueing the whole memory for the upgrade sweep.
+		for a := uint64(0); a < lines; a++ {
+			if err := mem.Write(a, contents[a], 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		tr, err := mem.EnterIdle(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.LinesUpgraded != lines {
+			b.Fatalf("upgraded %d of %d lines", tr.LinesUpgraded, lines)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lines), "ns/line")
+}

@@ -172,30 +172,63 @@ func (m *Memory) Read(addr uint64, nowCPU uint64) (line.Line, error) {
 	return fixed, nil
 }
 
+// sweepChunk is the number of lines a batched sweep gathers per round:
+// large enough to keep every worker of the codec pool busy, small enough
+// to bound the scratch buffers at a few hundred KB.
+const sweepChunk = 4096
+
 // EnterIdle performs the real ECC-Upgrade sweep: every line the
 // controller upgrades is decoded with the weak code and re-encoded with
-// the strong one. It returns the controller's transition summary.
+// the strong one. The sweep runs in batched chunks through the codec
+// worker pool — the software analogue of the paper's 640 M-cycle
+// background sweep being bandwidth-, not latency-, bound. It returns the
+// controller's transition summary.
 func (m *Memory) EnterIdle(nowCPU uint64) (core.IdleTransition, error) {
-	// Snapshot which lines are weak before the controller flips them.
-	weak := make([]uint64, 0, 1024)
-	for addr := uint64(0); addr < uint64(len(m.data)); addr++ {
-		if !m.ctl.IsStrong(addr) {
-			weak = append(weak, addr)
-		}
-	}
+	// Snapshot which lines are weak (word-at-a-time over the mode bitset)
+	// before the controller flips them.
+	weak := m.ctl.AppendWeakLines(nil)
 	tr, err := m.ctl.EnterIdle(nowCPU)
 	if err != nil {
 		return tr, err
 	}
-	for _, addr := range weak {
-		fixed, ev := m.codec.Decode(m.data[addr], m.spare[addr])
-		if ev.Result.Uncorrectable {
-			m.stats.Uncorrectable++
-			continue
+	n := len(weak)
+	size := n
+	if size > sweepChunk {
+		size = sweepChunk
+	}
+	var (
+		datas  = make([]line.Line, size)
+		spares = make([]uint64, size)
+		evs    = make([]ecc.DecodeEvent, size)
+		good   = make([]uint64, 0, size) // addresses that decoded cleanly
+	)
+	for lo := 0; lo < n; lo += sweepChunk {
+		chunk := weak[lo:min(lo+sweepChunk, n)]
+		for i, addr := range chunk {
+			datas[i] = m.data[addr]
+			spares[i] = m.spare[addr]
 		}
-		m.data[addr] = fixed
-		m.spare[addr] = m.codec.Encode(fixed, ecc.ModeStrong)
-		m.stats.UpgradedLines++
+		cd, cs, ce := datas[:len(chunk)], spares[:len(chunk)], evs[:len(chunk)]
+		m.codec.DecodeBatch(cd, cs, cd, ce)
+		good = good[:0]
+		for i, addr := range chunk {
+			if ce[i].Result.Uncorrectable {
+				m.stats.Uncorrectable++
+				continue
+			}
+			m.data[addr] = cd[i]
+			good = append(good, addr)
+			m.stats.UpgradedLines++
+		}
+		// Re-encode the surviving lines strong in one batch; gather their
+		// (corrected) contents back into the scratch buffer first.
+		for i, addr := range good {
+			datas[i] = m.data[addr]
+		}
+		m.codec.EncodeBatch(datas[:len(good)], ecc.ModeStrong, spares[:len(good)])
+		for i, addr := range good {
+			m.spare[addr] = spares[i]
+		}
 	}
 	return tr, nil
 }
@@ -219,12 +252,14 @@ func (m *Memory) IdleFor(duration time.Duration, refreshPeriod time.Duration) er
 	// Deterministic per-epoch injector.
 	m.epoch++
 	inj := retention.NewInjector(m.seed^m.epoch<<16, ber)
-	_ = duration // the paper's model: failures depend on period, not dwell
+	_ = duration    // the paper's model: failures depend on period, not dwell
+	var flips []int // reused per line: no allocation when a line survives
 	for addr := range m.data {
 		if !m.inited[addr] {
 			continue
 		}
-		for _, pos := range inj.FlipPositions(line.Bits + ecc.SpareBits) {
+		flips = inj.FlipPositionsAppend(line.Bits+ecc.SpareBits, flips[:0])
+		for _, pos := range flips {
 			m.stats.InjectedErrors++
 			if pos < line.Bits {
 				m.data[addr] = m.data[addr].FlipBit(pos)
@@ -253,29 +288,65 @@ func (m *Memory) InjectBitFlip(addr uint64, bit int) {
 
 // Scrub decodes and re-encodes every initialized line in place (idle
 // mode), clearing accumulated correctable errors — the maintenance
-// operation a real controller would fold into the upgrade sweep. It
-// returns the number of corrected bits, or an error naming the first
-// uncorrectable line.
+// operation a real controller would fold into the upgrade sweep. Decoding
+// runs in batched chunks through the codec worker pool; corrected lines
+// (rare) are re-encoded individually. It returns the number of corrected
+// bits, or an error naming the first uncorrectable line — lines past the
+// failure are left untouched, exactly as the sequential scrub did.
 func (m *Memory) Scrub() (int, error) {
+	addrs := make([]uint64, 0, sweepChunk)
+	var (
+		datas  []line.Line
+		spares []uint64
+		evs    []ecc.DecodeEvent
+	)
 	corrected := 0
+	flush := func() error {
+		if len(addrs) == 0 {
+			return nil
+		}
+		if datas == nil {
+			datas = make([]line.Line, sweepChunk)
+			spares = make([]uint64, sweepChunk)
+			evs = make([]ecc.DecodeEvent, sweepChunk)
+		}
+		for i, addr := range addrs {
+			datas[i] = m.data[addr]
+			spares[i] = m.spare[addr]
+		}
+		cd, cs, ce := datas[:len(addrs)], spares[:len(addrs)], evs[:len(addrs)]
+		m.codec.DecodeBatch(cd, cs, cd, ce)
+		for i, addr := range addrs {
+			if ce[i].Result.Uncorrectable {
+				m.stats.Uncorrectable++
+				return fmt.Errorf("%w: address %d", ErrDataLoss, addr)
+			}
+			if ce[i].Result.CorrectedBits > 0 {
+				corrected += ce[i].Result.CorrectedBits
+				mode := ecc.ModeWeak
+				if m.ctl.IsStrong(addr) {
+					mode = ecc.ModeStrong
+				}
+				m.data[addr] = cd[i]
+				m.spare[addr] = m.codec.Encode(cd[i], mode)
+			}
+		}
+		addrs = addrs[:0]
+		return nil
+	}
 	for addr := range m.data {
 		if !m.inited[addr] {
 			continue
 		}
-		fixed, ev := m.codec.Decode(m.data[addr], m.spare[addr])
-		if ev.Result.Uncorrectable {
-			m.stats.Uncorrectable++
-			return corrected, fmt.Errorf("%w: address %d", ErrDataLoss, addr)
-		}
-		if ev.Result.CorrectedBits > 0 {
-			corrected += ev.Result.CorrectedBits
-			mode := ecc.ModeWeak
-			if m.ctl.IsStrong(uint64(addr)) {
-				mode = ecc.ModeStrong
+		addrs = append(addrs, uint64(addr))
+		if len(addrs) == sweepChunk {
+			if err := flush(); err != nil {
+				return corrected, err
 			}
-			m.data[addr] = fixed
-			m.spare[addr] = m.codec.Encode(fixed, mode)
 		}
+	}
+	if err := flush(); err != nil {
+		return corrected, err
 	}
 	m.stats.CorrectedBits += uint64(corrected)
 	return corrected, nil

@@ -153,17 +153,24 @@ func (in *Injector) BER() float64 { return in.ber }
 // FlipPositions returns the positions in [0, nbits) that fail, in
 // increasing order. The expected count is nbits*ber.
 func (in *Injector) FlipPositions(nbits int) []int {
+	return in.FlipPositionsAppend(nbits, nil)
+}
+
+// FlipPositionsAppend appends the positions in [0, nbits) that fail to
+// buf, in increasing order, and returns the extended slice. Hot sweep
+// loops pass a reused buffer (sliced to length 0) so that injection
+// performs no allocations in the common no-failure case; the random
+// sequence drawn is identical to FlipPositions.
+func (in *Injector) FlipPositionsAppend(nbits int, buf []int) []int {
 	if in.ber <= 0 {
-		return nil
+		return buf
 	}
 	if in.ber >= 1 {
-		out := make([]int, nbits)
-		for i := range out {
-			out[i] = i
+		for i := 0; i < nbits; i++ {
+			buf = append(buf, i)
 		}
-		return out
+		return buf
 	}
-	var out []int
 	pos := -1
 	for {
 		// Geometric gap: number of surviving bits before the next failure.
@@ -174,9 +181,9 @@ func (in *Injector) FlipPositions(nbits int) []int {
 		gap := int(math.Floor(math.Log(u) / in.lnq))
 		pos += gap + 1
 		if pos >= nbits {
-			return out
+			return buf
 		}
-		out = append(out, pos)
+		buf = append(buf, pos)
 	}
 }
 
