@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench bench-json vet fmt paperbench fuzz fuzz-short clean
+.PHONY: all build test cover bench bench-json vet fmt paperbench trace-demo fuzz fuzz-short clean
 
 all: build test
 
@@ -34,6 +34,15 @@ fmt:
 # Regenerate every table and figure of the paper (scale 1/400 ≈ minutes).
 paperbench:
 	$(GO) run ./cmd/paperbench
+
+# Produce a short JSONL event trace from one MECC+SMD slice and
+# pretty-print the interesting part of it (see DESIGN.md Observability).
+trace-demo:
+	$(GO) run ./cmd/meccsim -bench libq -scheme mecc -smd -scale 20000 \
+		-trace-out trace-demo.jsonl > /dev/null
+	$(GO) run ./cmd/obsdump -n 40 \
+		-kinds mecc_transition,refresh_rate,refresh,smd_window,smd_enable,smd_disable,mdt_mark \
+		trace-demo.jsonl
 
 # Short fuzz session over the parsers and the BCH decoder.
 fuzz:

@@ -16,12 +16,44 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bch"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// openOut opens an output sink; "-" is stdout (whose closer is a no-op).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// writeMetrics dumps the registry to path — CSV when the name ends in
+// .csv, Prometheus text exposition otherwise.
+func writeMetrics(reg *obs.Registry, path string) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = reg.WriteCSV(w)
+	} else {
+		err = reg.WriteProm(w)
+	}
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // openTrace opens a trace file as a streaming source; the returned
 // closer releases the file once the run completes.
@@ -91,6 +123,10 @@ func run() error {
 		closedPage  = flag.Bool("closed-page", false, "use the closed-page row policy")
 		fcfs        = flag.Bool("fcfs", false, "strict FCFS scheduling (disable row-hit-first)")
 		perBankRef  = flag.Bool("per-bank-refresh", false, "use LPDDR per-bank refresh (REFpb)")
+		traceOut    = flag.String("trace-out", "", "write a JSONL event trace to this file (- for stdout)")
+		traceEvents = flag.String("trace-events", "all", "event kinds to trace: all, or a comma list (dram_cmd,refresh,mecc_transition,smd_enable,...)")
+		metricsOut  = flag.String("metrics-out", "", "write run metrics to this file (- for stdout; .csv selects CSV, otherwise Prometheus text)")
+		timeline    = flag.Bool("timeline", false, "render an ASCII run timeline after the report")
 	)
 	flag.Parse()
 
@@ -147,28 +183,83 @@ func run() error {
 	}
 	cfg.CheckpointEvery = *checkpoints
 
+	// Telemetry is opt-in: with none of the flags set cfg.Obs stays nil
+	// and the simulator's hot paths take their zero-cost no-op branches.
+	var (
+		elog    *obs.EventLog
+		sampler *obs.Sampler
+	)
+	if *traceOut != "" || *metricsOut != "" || *timeline {
+		rec := obs.New()
+		if *traceOut != "" || *timeline {
+			mask, err := obs.ParseKindMask(*traceEvents)
+			if err != nil {
+				return err
+			}
+			elog = obs.NewEventLog()
+			elog.SetMask(mask)
+			if *traceOut != "" {
+				w, closeFn, err := openOut(*traceOut)
+				if err != nil {
+					return err
+				}
+				defer func() {
+					if cerr := closeFn(); cerr != nil {
+						fmt.Fprintln(os.Stderr, "meccsim: close trace-out:", cerr)
+					}
+				}()
+				elog.SetStream(w)
+			}
+			rec.SetEventLog(elog)
+		}
+		if *timeline {
+			var err error
+			if sampler, err = obs.NewSampler(cfg.MECC.SMDWindowCycles); err != nil {
+				return err
+			}
+			rec.SetSampler(sampler)
+		}
+		bch.SetObserver(rec)
+		defer bch.SetObserver(nil)
+		cfg.Obs = rec
+	}
+
 	var res sim.Result
+	var runner *sim.Runner
 	if *traceFile != "" {
 		src, closer, err := openTrace(*traceFile, *traceFormat)
 		if err != nil {
 			return err
 		}
 		defer closer()
-		runner, err := sim.NewRunnerWithSource(prof.Scaled(*scale), src, cfg)
-		if err != nil {
+		if runner, err = sim.NewRunnerWithSource(prof.Scaled(*scale), src, cfg); err != nil {
 			return err
 		}
-		if res, err = runner.Run(); err != nil {
-			return err
-		}
-	} else if res, err = sim.RunBenchmark(prof.Scaled(*scale), cfg); err != nil {
+	} else if runner, err = sim.NewRunner(prof.Scaled(*scale), cfg); err != nil {
 		return err
+	}
+	runner.RegisterProbes(sampler)
+	if res, err = runner.Run(); err != nil {
+		return err
+	}
+	if cfg.Obs != nil {
+		if err := cfg.Obs.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+		if *metricsOut != "" {
+			if err := writeMetrics(cfg.Obs.Registry(), *metricsOut); err != nil {
+				return fmt.Errorf("write metrics: %w", err)
+			}
+		}
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return renderTimeline(*timeline, sampler, elog)
 	}
 
 	fmt.Printf("benchmark        %s (%s)\n", res.Benchmark, prof.Class())
@@ -206,5 +297,19 @@ func run() error {
 	for _, cp := range res.Checkpoints {
 		fmt.Printf("checkpoint       %12d instr  IPC %.4f\n", cp.Instructions, cp.IPC)
 	}
+	return renderTimeline(*timeline, sampler, elog)
+}
+
+// renderTimeline prints the ASCII run timeline when requested.
+func renderTimeline(on bool, sampler *obs.Sampler, elog *obs.EventLog) error {
+	if !on {
+		return nil
+	}
+	var events []obs.Event
+	if elog != nil {
+		events = elog.Events()
+	}
+	fmt.Println()
+	fmt.Print(obs.NewTimeline(sampler, events).String())
 	return nil
 }

@@ -1,0 +1,115 @@
+// Command obsdump pretty-prints a JSONL event trace produced by
+// meccsim/paperbench -trace-out: one aligned line per event, with the
+// per-kind fields spelled out, followed by a per-kind census.
+//
+// Usage:
+//
+//	obsdump [-kinds dram_cmd,refresh,...] [-n MAX] [trace.jsonl]
+//
+// With no file argument (or "-") the trace is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kinds  = flag.String("kinds", "all", "event kinds to print: all, or a comma list")
+		maxN   = flag.Int("n", 0, "print at most N events (0 = all)")
+		census = flag.Bool("census", true, "append a per-kind event census")
+	)
+	flag.Parse()
+
+	mask, err := obs.ParseKindMask(*kinds)
+	if err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		return fmt.Errorf("at most one trace file expected")
+	}
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+
+	counts := map[obs.Kind]uint64{}
+	printed := 0
+	for _, e := range events {
+		counts[e.Kind]++
+		if !mask.Has(e.Kind) {
+			continue
+		}
+		if *maxN > 0 && printed >= *maxN {
+			continue
+		}
+		printed++
+		fmt.Printf("%12d  %-15s %s\n", e.T, e.Kind, detail(e))
+	}
+	if *census && len(events) > 0 {
+		bc := stats.NewBarChart(40)
+		for _, k := range obs.Kinds() {
+			if counts[k] > 0 {
+				bc.Add(k.String(), "", float64(counts[k]))
+			}
+		}
+		fmt.Printf("\n%d events:\n%s", len(events), bc.String())
+	}
+	return nil
+}
+
+// detail renders an event's kind-specific fields.
+func detail(e obs.Event) string {
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	switch e.Kind {
+	case obs.KindDRAMCmd:
+		add("%s bank=%d row=%d", e.Cmd, e.Bank, e.Row)
+	case obs.KindRefresh:
+		if e.Bank != 0 {
+			add("bank=%d", e.Bank)
+		}
+		add("shift=%d", e.Shift)
+	case obs.KindRefreshRate:
+		add("shift=%d (refresh interval x%d)", e.Shift, 1<<e.Shift)
+	case obs.KindMECCTransition:
+		add("phase=%s", e.Phase)
+	case obs.KindSweepStart:
+		add("regions=%d", e.Regions)
+	case obs.KindSweepEnd:
+		add("lines=%d regions=%d cycles=%d", e.Lines, e.Regions, e.Cycles)
+	case obs.KindSMDWindow, obs.KindSMDEnable:
+		add("mpkc=%.3f", e.MPKC)
+	case obs.KindSMDDisable:
+	case obs.KindMDTMark:
+		add("region=%d", e.Region)
+	case obs.KindDecode:
+		add("cycles=%d strong=%v", e.Cycles, e.Strong)
+	}
+	return strings.Join(parts, " ")
+}

@@ -7,6 +7,7 @@
 //	            fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //	            ablations|relatedwork|modes|capacity|day|integrity]
 //	           [-scale N] [-seed S] [-parallel P] [-chart]
+//	           [-metrics-out FILE] [-trace-out FILE] [-timeline]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale divides the paper's 4-billion-instruction slices (footprints
@@ -17,13 +18,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/batch"
+	"repro/internal/bch"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -32,6 +37,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
+}
+
+// exhibit is one runnable experiment; run prints its own section.
+type exhibit struct {
+	name string
+	run  func() error
+}
+
+// openOut opens an output sink; "-" is stdout (whose closer is a no-op).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func run() error {
@@ -43,6 +66,11 @@ func run() error {
 		trials     = flag.Int("integrity-trials", 5000, "Monte Carlo trials for -experiment integrity")
 		chart      = flag.Bool("chart", false, "render fig7 as an ASCII bar chart too")
 		list       = flag.Bool("list", false, "list experiment names and exit")
+		summary    = flag.Bool("summary", true, "print per-experiment wall-time and counter summaries")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics to this file (- for stdout; .csv selects CSV, otherwise Prometheus text)")
+		traceOut   = flag.String("trace-out", "", "write a JSONL event trace to this file (- for stdout); events from parallel runs interleave")
+		traceEvts  = flag.String("trace-events", "mecc_transition,sweep_start,sweep_end,smd_window,smd_enable,smd_disable,refresh_rate", "event kinds to trace: all, or a comma list")
+		timeline   = flag.Bool("timeline", false, "render the event-census timeline after the run (implies event collection)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -100,7 +128,39 @@ func run() error {
 		return nil
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	// The harness always carries a recorder: per-simulation counters are
+	// atomic adds that never change results, and the wall-time summary
+	// reuses the same registry. The event log is opt-in via -trace-out /
+	// -timeline.
+	rec := obs.New()
+	var elog *obs.EventLog
+	if *traceOut != "" || *timeline {
+		mask, err := obs.ParseKindMask(*traceEvts)
+		if err != nil {
+			return err
+		}
+		elog = obs.NewEventLog()
+		elog.SetMask(mask)
+		if *traceOut != "" {
+			w, closeFn, err := openOut(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := closeFn(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "paperbench: close trace-out:", cerr)
+				}
+			}()
+			elog.SetStream(w)
+		}
+		rec.SetEventLog(elog)
+	}
+	bch.SetObserver(rec)
+	defer bch.SetObserver(nil)
+	batch.SetObserver(rec)
+	defer batch.SetObserver(nil)
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Obs: rec}
 	if err := opts.Validate(); err != nil {
 		return err
 	}
@@ -115,285 +175,367 @@ func run() error {
 	}
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
-	ran := 0
 
 	section := func(title string) {
 		fmt.Printf("\n=== %s ===\n", title)
 	}
 
-	if selected("table1") {
-		ran++
-		res, err := experiments.TableI()
-		if err != nil {
-			return err
-		}
-		section("Table I: line and system failure probability (BER 10^-4.5, 64B lines, 1GB)")
-		fmt.Print(res.Rendered)
-		fmt.Printf("Required strength incl. soft-error margin: ECC-%d\n", res.RequiredStrength)
-	}
-	if selected("table2") {
-		ran++
-		section("Table II: baseline system configuration")
-		fmt.Print(experiments.TableII())
-	}
-	if selected("table3") {
-		ran++
-		start := time.Now()
-		res, err := experiments.TableIII(suite)
-		if err != nil {
-			return err
-		}
-		section(fmt.Sprintf("Table III: benchmark characterization (measured, scale 1/%d, %v)", *scale, time.Since(start).Round(time.Millisecond)))
-		fmt.Print(res.Rendered)
-	}
-	if selected("table4") {
-		ran++
-		section("Table IV: memory power parameters")
-		fmt.Print(experiments.TableIV())
-	}
-	if selected("fig2") {
-		ran++
-		res := experiments.Fig2()
-		section(fmt.Sprintf("Fig 2: retention-time distribution (log-log slope %.2f)", res.Slope))
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig3") {
-		ran++
-		res, err := experiments.Fig3(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 3: performance impact of decode latency (normalized IPC)")
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig7") {
-		ran++
-		res, err := experiments.Fig7(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 7: SECDED / ECC-6 / MECC normalized IPC per benchmark")
-		fmt.Print(res.Rendered)
-		if *chart {
-			bc := stats.NewBarChart(50)
-			bc.SetReference(1.0)
-			for _, bar := range res.Bars {
-				bc.Add(bar.Name, "SECDED", bar.SECDED)
-				bc.Add(bar.Name, "ECC-6", bar.ECC6)
-				bc.Add(bar.Name, "MECC", bar.MECC)
+	exhibits := []exhibit{
+		{"table1", func() error {
+			res, err := experiments.TableI()
+			if err != nil {
+				return err
 			}
-			fmt.Println()
-			fmt.Print(bc.String())
-		}
-	}
-	if selected("fig8") {
-		ran++
-		res, err := experiments.Fig8()
-		if err != nil {
-			return err
-		}
-		section("Fig 8: idle-mode refresh and total power (normalized to baseline)")
-		fmt.Print(res.Rendered)
-		fmt.Printf("Idle power reduction with MECC: %.1f%%\n", res.Reduction*100)
-	}
-	if selected("fig9") {
-		ran++
-		res, err := experiments.Fig9(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 9: active-mode power / energy / EDP (geomean, normalized)")
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig10") {
-		ran++
-		res, err := experiments.Fig10(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 10: total memory energy at 95% idle (normalized to baseline total)")
-		fmt.Print(res.Rendered)
-		fmt.Printf("Total memory energy saving with MECC: %.1f%%\n", res.Saving*100)
-	}
-	if selected("fig11") {
-		ran++
-		res, err := experiments.Fig11(opts)
-		if err != nil {
-			return err
-		}
-		section("Fig 11: memory tracked by 1K-entry MDT (full footprints)")
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig12") {
-		ran++
-		res, err := experiments.Fig12(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 12: sensitivity to ECC-6 decode latency (normalized IPC)")
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig13") {
-		ran++
-		res, err := experiments.Fig13(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 13: MECC warm-up transient vs slice length")
-		fmt.Print(res.Rendered)
-	}
-	if selected("fig14") {
-		ran++
-		res, err := experiments.Fig14(suite)
-		if err != nil {
-			return err
-		}
-		section("Fig 14: SMD downgrade-disabled execution time (MPKC threshold 2)")
-		fmt.Print(res.Rendered)
-		fmt.Printf("Benchmarks never enabling ECC-Downgrade: %d of 28\n", res.NeverEnabled)
-	}
-	if selected("ablations") {
-		ran++
-		mdt, err := experiments.AblationMDT(opts)
-		if err != nil {
-			return err
-		}
-		section("Ablation: MDT region-count sweep")
-		fmt.Print(mdt.Rendered)
+			section("Table I: line and system failure probability (BER 10^-4.5, 64B lines, 1GB)")
+			fmt.Print(res.Rendered)
+			fmt.Printf("Required strength incl. soft-error margin: ECC-%d\n", res.RequiredStrength)
+			return nil
+		}},
+		{"table2", func() error {
+			section("Table II: baseline system configuration")
+			fmt.Print(experiments.TableII())
+			return nil
+		}},
+		{"table3", func() error {
+			start := time.Now()
+			res, err := experiments.TableIII(suite)
+			if err != nil {
+				return err
+			}
+			section(fmt.Sprintf("Table III: benchmark characterization (measured, scale 1/%d, %v)", *scale, time.Since(start).Round(time.Millisecond)))
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"table4", func() error {
+			section("Table IV: memory power parameters")
+			fmt.Print(experiments.TableIV())
+			return nil
+		}},
+		{"fig2", func() error {
+			res := experiments.Fig2()
+			section(fmt.Sprintf("Fig 2: retention-time distribution (log-log slope %.2f)", res.Slope))
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig3", func() error {
+			res, err := experiments.Fig3(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 3: performance impact of decode latency (normalized IPC)")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig7", func() error {
+			res, err := experiments.Fig7(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 7: SECDED / ECC-6 / MECC normalized IPC per benchmark")
+			fmt.Print(res.Rendered)
+			if *chart {
+				bc := stats.NewBarChart(50)
+				bc.SetReference(1.0)
+				for _, bar := range res.Bars {
+					bc.Add(bar.Name, "SECDED", bar.SECDED)
+					bc.Add(bar.Name, "ECC-6", bar.ECC6)
+					bc.Add(bar.Name, "MECC", bar.MECC)
+				}
+				fmt.Println()
+				fmt.Print(bc.String())
+			}
+			return nil
+		}},
+		{"fig8", func() error {
+			res, err := experiments.Fig8()
+			if err != nil {
+				return err
+			}
+			section("Fig 8: idle-mode refresh and total power (normalized to baseline)")
+			fmt.Print(res.Rendered)
+			fmt.Printf("Idle power reduction with MECC: %.1f%%\n", res.Reduction*100)
+			return nil
+		}},
+		{"fig9", func() error {
+			res, err := experiments.Fig9(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 9: active-mode power / energy / EDP (geomean, normalized)")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig10", func() error {
+			res, err := experiments.Fig10(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 10: total memory energy at 95% idle (normalized to baseline total)")
+			fmt.Print(res.Rendered)
+			fmt.Printf("Total memory energy saving with MECC: %.1f%%\n", res.Saving*100)
+			return nil
+		}},
+		{"fig11", func() error {
+			res, err := experiments.Fig11(opts)
+			if err != nil {
+				return err
+			}
+			section("Fig 11: memory tracked by 1K-entry MDT (full footprints)")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig12", func() error {
+			res, err := experiments.Fig12(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 12: sensitivity to ECC-6 decode latency (normalized IPC)")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig13", func() error {
+			res, err := experiments.Fig13(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 13: MECC warm-up transient vs slice length")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"fig14", func() error {
+			res, err := experiments.Fig14(suite)
+			if err != nil {
+				return err
+			}
+			section("Fig 14: SMD downgrade-disabled execution time (MPKC threshold 2)")
+			fmt.Print(res.Rendered)
+			fmt.Printf("Benchmarks never enabling ECC-Downgrade: %d of 28\n", res.NeverEnabled)
+			return nil
+		}},
+		{"ablations", func() error {
+			mdt, err := experiments.AblationMDT(opts)
+			if err != nil {
+				return err
+			}
+			section("Ablation: MDT region-count sweep")
+			fmt.Print(mdt.Rendered)
 
-		smd, err := experiments.AblationSMDThreshold(suite)
-		if err != nil {
-			return err
-		}
-		section("Ablation: SMD threshold sweep")
-		fmt.Print(smd.Rendered)
+			smd, err := experiments.AblationSMDThreshold(suite)
+			if err != nil {
+				return err
+			}
+			section("Ablation: SMD threshold sweep")
+			fmt.Print(smd.Rendered)
 
-		ref, err := experiments.AblationRefreshSweep()
-		if err != nil {
-			return err
-		}
-		section("Ablation: refresh period vs required ECC strength")
-		fmt.Print(ref.Rendered)
+			ref, err := experiments.AblationRefreshSweep()
+			if err != nil {
+				return err
+			}
+			section("Ablation: refresh period vs required ECC strength")
+			fmt.Print(ref.Rendered)
 
-		mapping, err := experiments.AblationMapping(opts)
-		if err != nil {
-			return err
-		}
-		section("Ablation: address-interleaving policy")
-		fmt.Print(mapping.Rendered)
+			mapping, err := experiments.AblationMapping(opts)
+			if err != nil {
+				return err
+			}
+			section("Ablation: address-interleaving policy")
+			fmt.Print(mapping.Rendered)
 
-		policy, err := experiments.AblationRefreshPolicy(opts)
-		if err != nil {
-			return err
-		}
-		section("Ablation: all-bank REF vs per-bank REFpb")
-		fmt.Print(policy.Rendered)
+			policy, err := experiments.AblationRefreshPolicy(opts)
+			if err != nil {
+				return err
+			}
+			section("Ablation: all-bank REF vs per-bank REFpb")
+			fmt.Print(policy.Rendered)
 
-		weak, err := experiments.AblationWeakCode(2000, *seed)
-		if err != nil {
-			return err
-		}
-		section("Ablation: weak-code choice under active-mode soft errors")
-		fmt.Print(weak.Rendered)
+			weak, err := experiments.AblationWeakCode(2000, *seed)
+			if err != nil {
+				return err
+			}
+			section("Ablation: weak-code choice under active-mode soft errors")
+			fmt.Print(weak.Rendered)
 
-		scrub, err := experiments.ScrubTable()
-		if err != nil {
-			return err
-		}
-		section("Ablation: scrub interval (idle periods between corrections)")
-		fmt.Print(scrub)
+			scrub, err := experiments.ScrubTable()
+			if err != nil {
+				return err
+			}
+			section("Ablation: scrub interval (idle periods between corrections)")
+			fmt.Print(scrub)
 
-		sched, err := experiments.AblationScheduler(opts)
-		if err != nil {
-			return err
-		}
-		section("Ablation: memory-scheduler policy")
-		fmt.Print(sched.Rendered)
+			sched, err := experiments.AblationScheduler(opts)
+			if err != nil {
+				return err
+			}
+			section("Ablation: memory-scheduler policy")
+			fmt.Print(sched.Rendered)
 
-		pf, err := experiments.AblationPrefetch(opts)
-		if err != nil {
-			return err
-		}
-		section("Ablation: next-line prefetcher (under MECC)")
-		fmt.Print(pf.Rendered)
+			pf, err := experiments.AblationPrefetch(opts)
+			if err != nil {
+				return err
+			}
+			section("Ablation: next-line prefetcher (under MECC)")
+			fmt.Print(pf.Rendered)
 
-		temp, err := experiments.AblationTemperature()
-		if err != nil {
-			return err
-		}
-		section("Ablation: junction temperature vs required ECC at 1s refresh")
-		fmt.Print(temp.Rendered)
+			temp, err := experiments.AblationTemperature()
+			if err != nil {
+				return err
+			}
+			section("Ablation: junction temperature vs required ECC at 1s refresh")
+			fmt.Print(temp.Rendered)
+			return nil
+		}},
+		{"day", func() error {
+			res, err := experiments.DayInTheLife(opts)
+			if err != nil {
+				return err
+			}
+			section("Day-in-the-life: Fig 1 usage pattern through the phase simulator")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"relatedwork", func() error {
+			res, err := experiments.RelatedWork(*seed)
+			if err != nil {
+				return err
+			}
+			section("Related work (Section VII): refresh schemes under VRT")
+			fmt.Print(res.Rendered)
+
+			hi := experiments.HiECC()
+			section("Related work (Section VII-C): Hi-ECC granularity trade-off")
+			fmt.Print(hi.Rendered)
+			return nil
+		}},
+		{"modes", func() error {
+			res, err := experiments.RefreshModes()
+			if err != nil {
+				return err
+			}
+			section("Refresh modes (Section II-A): power vs usable capacity")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"daemon", func() error {
+			res, err := experiments.Daemon(opts)
+			if err != nil {
+				return err
+			}
+			section("Daemon study (Section VI-B): SMD keeps slow refresh through background activity")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"model", func() error {
+			res, err := experiments.ModelValidation(suite)
+			if err != nil {
+				return err
+			}
+			section("Model validation: simulator vs first-order CPI theory (ECC-6)")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"capacity", func() error {
+			res, err := experiments.CapacityScaling()
+			if err != nil {
+				return err
+			}
+			section("Capacity scaling: idle power and MECC savings vs memory size")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
+		{"integrity", func() error {
+			res, err := experiments.Integrity(*trials, 0, *seed)
+			if err != nil {
+				return err
+			}
+			section("Integrity: end-to-end fault injection through the real codecs")
+			fmt.Print(res.Rendered)
+			return nil
+		}},
 	}
-	if selected("day") {
-		ran++
-		res, err := experiments.DayInTheLife(opts)
-		if err != nil {
-			return err
-		}
-		section("Day-in-the-life: Fig 1 usage pattern through the phase simulator")
-		fmt.Print(res.Rendered)
-	}
-	if selected("relatedwork") {
-		ran++
-		res, err := experiments.RelatedWork(*seed)
-		if err != nil {
-			return err
-		}
-		section("Related work (Section VII): refresh schemes under VRT")
-		fmt.Print(res.Rendered)
 
-		hi := experiments.HiECC()
-		section("Related work (Section VII-C): Hi-ECC granularity trade-off")
-		fmt.Print(hi.Rendered)
+	// Run the selected exhibits in order, timing each one into the
+	// registry (exp_<name>_wall_seconds) and the summary table.
+	type timing struct {
+		name string
+		d    time.Duration
 	}
-	if selected("modes") {
-		ran++
-		res, err := experiments.RefreshModes()
-		if err != nil {
-			return err
+	var timings []timing
+	for _, e := range exhibits {
+		if !selected(e.name) {
+			continue
 		}
-		section("Refresh modes (Section II-A): power vs usable capacity")
-		fmt.Print(res.Rendered)
-	}
-	if selected("daemon") {
-		ran++
-		res, err := experiments.Daemon(opts)
-		if err != nil {
-			return err
+		start := time.Now()
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		section("Daemon study (Section VI-B): SMD keeps slow refresh through background activity")
-		fmt.Print(res.Rendered)
+		d := time.Since(start)
+		timings = append(timings, timing{e.name, d})
+		rec.Gauge("exp_" + e.name + "_wall_seconds").Set(d.Seconds())
 	}
-	if selected("model") {
-		ran++
-		res, err := experiments.ModelValidation(suite)
-		if err != nil {
-			return err
-		}
-		section("Model validation: simulator vs first-order CPI theory (ECC-6)")
-		fmt.Print(res.Rendered)
-	}
-	if selected("capacity") {
-		ran++
-		res, err := experiments.CapacityScaling()
-		if err != nil {
-			return err
-		}
-		section("Capacity scaling: idle power and MECC savings vs memory size")
-		fmt.Print(res.Rendered)
-	}
-	if selected("integrity") {
-		ran++
-		res, err := experiments.Integrity(*trials, 0, *seed)
-		if err != nil {
-			return err
-		}
-		section("Integrity: end-to-end fault injection through the real codecs")
-		fmt.Print(res.Rendered)
-	}
-
-	if ran == 0 {
+	if len(timings) == 0 {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+
+	if *summary {
+		section("Run summary")
+		tb := stats.NewTable("experiment", "wall")
+		var total time.Duration
+		for _, t := range timings {
+			tb.AddRow(t.name, t.d.Round(time.Millisecond).String())
+			total += t.d
+		}
+		tb.AddRow("total", total.Round(time.Millisecond).String())
+		fmt.Print(tb.String())
+		printCounters(rec.Registry())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(rec.Registry(), *metricsOut); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		return fmt.Errorf("flush trace: %w", err)
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(obs.NewTimeline(nil, elog.Events()).String())
+	}
 	return nil
+}
+
+// printCounters renders the non-zero counters accumulated across every
+// simulation of the run.
+func printCounters(reg *obs.Registry) {
+	names := reg.CounterNames()
+	tb := stats.NewTable("counter", "value")
+	rows := 0
+	for _, n := range names {
+		if v := reg.Counter(n).Value(); v > 0 {
+			tb.AddRow(n, fmt.Sprintf("%d", v))
+			rows++
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	fmt.Println()
+	fmt.Print(tb.String())
+}
+
+// writeMetrics dumps the registry to path — CSV when the name ends in
+// .csv, Prometheus text exposition otherwise.
+func writeMetrics(reg *obs.Registry, path string) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = reg.WriteCSV(w)
+	} else {
+		err = reg.WriteProm(w)
+	}
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -9,7 +9,29 @@ package batch
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
+
+// Package-level telemetry counters (nil no-ops by default; see
+// internal/obs). Atomic, so concurrent For calls may share them.
+var (
+	obsCalls  *obs.Counter
+	obsInline *obs.Counter
+	obsChunks *obs.Counter
+	obsItems  *obs.Counter
+)
+
+// SetObserver wires the fork-join counters to a recorder (nil
+// detaches): total For calls, calls that ran inline, worker chunks
+// spawned, and items processed. Call at harness setup, not concurrently
+// with For traffic.
+func SetObserver(r *obs.Recorder) {
+	obsCalls = r.Counter("batch_calls_total")
+	obsInline = r.Counter("batch_inline_calls_total")
+	obsChunks = r.Counter("batch_chunks_total")
+	obsItems = r.Counter("batch_items_total")
+}
 
 // For runs fn over [0, n) split into contiguous [lo, hi) chunks, one per
 // worker goroutine. The worker count is capped by GOMAXPROCS and by
@@ -20,6 +42,8 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	obsCalls.Inc()
+	obsItems.Add(uint64(n))
 	if minPerWorker < 1 {
 		minPerWorker = 1
 	}
@@ -28,6 +52,7 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 		workers = limit
 	}
 	if workers <= 1 {
+		obsInline.Inc()
 		fn(0, n)
 		return
 	}
@@ -38,6 +63,7 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
+		obsChunks.Inc()
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()

@@ -227,6 +227,7 @@ func (c *Code) FieldM() int { return c.field.M() }
 // ParityBits() bits of the returned word; when extended, the overall
 // parity bit is the highest of those bits.
 func (c *Code) Encode(data line.Line) uint64 {
+	obsEncodes.Inc()
 	deg := c.parityBits
 	top := uint64(1) << (deg - 1)
 	regMask := (top << 1) - 1
@@ -262,6 +263,13 @@ func (c *Code) overallParity(data line.Line, parity uint64) uint64 {
 // locator and the Chien root list all live in fixed-size stack arrays
 // bounded by MaxT (guarded by TestDecodeZeroAllocs).
 func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
+	out, res := c.decode(data, parity)
+	noteDecode(res)
+	return out, res
+}
+
+// decode is the telemetry-free correction pipeline behind Decode.
+func (c *Code) decode(data line.Line, parity uint64) (line.Line, Result) {
 	deg := c.parityBits
 	extBit := uint64(0)
 	if c.extended {

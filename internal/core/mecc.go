@@ -22,6 +22,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Errors returned on invalid configuration or use.
@@ -181,6 +183,18 @@ type Controller struct {
 	lastSeen     uint64 // most recent CPU cycle observed
 
 	stats Stats
+
+	// Telemetry (nil-safe no-ops when detached).
+	obs          *obs.Recorder
+	cStrongReads *obs.Counter
+	cWeakReads   *obs.Counter
+	cDowngrades  *obs.Counter
+	cSweeps      *obs.Counter
+	cUpgraded    *obs.Counter
+	cSMDWindows  *obs.Counter
+	cSMDEnables  *obs.Counter
+	cMDTMarks    *obs.Counter
+	gDowngradeOn *obs.Gauge
 }
 
 // New builds a controller; memory starts idle with every line strong
@@ -203,6 +217,38 @@ func New(cfg Config) (*Controller, error) {
 		}
 	}
 	return c, nil
+}
+
+// SetObserver attaches a telemetry recorder (nil detaches): MECC
+// counters plus structured events for mode transitions, ECC-Upgrade
+// sweeps, SMD decisions (with the MPKC sample that triggered them) and
+// MDT region marks. All event timestamps are CPU cycles.
+func (c *Controller) SetObserver(r *obs.Recorder) {
+	c.obs = r
+	if r == nil {
+		c.cStrongReads, c.cWeakReads, c.cDowngrades = nil, nil, nil
+		c.cSweeps, c.cUpgraded, c.cSMDWindows, c.cSMDEnables = nil, nil, nil, nil
+		c.cMDTMarks, c.gDowngradeOn = nil, nil
+		return
+	}
+	c.cStrongReads = r.Counter("mecc_strong_reads_total")
+	c.cWeakReads = r.Counter("mecc_weak_reads_total")
+	c.cDowngrades = r.Counter("mecc_downgrades_total")
+	c.cSweeps = r.Counter("mecc_sweeps_total")
+	c.cUpgraded = r.Counter("mecc_upgraded_lines_total")
+	c.cSMDWindows = r.Counter("mecc_smd_windows_total")
+	c.cSMDEnables = r.Counter("mecc_smd_enables_total")
+	c.cMDTMarks = r.Counter("mecc_mdt_marks_total")
+	c.gDowngradeOn = r.Gauge("mecc_downgrade_on")
+	c.gDowngradeOn.Set(boolGauge(c.downgradeOn))
+}
+
+// boolGauge renders a flag as a 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Config returns the controller configuration.
@@ -264,15 +310,40 @@ func (c *Controller) advanceSMD(nowCPU uint64) {
 	}
 	for nowCPU >= c.windowStart+c.cfg.SMDWindowCycles {
 		c.stats.SMDWindows++
+		c.cSMDWindows.Inc()
 		mpkc := float64(c.windowMisses) / (float64(c.cfg.SMDWindowCycles) / 1000)
-		c.windowStart += c.cfg.SMDWindowCycles
+		boundary := c.windowStart + c.cfg.SMDWindowCycles
+		c.windowStart = boundary
 		c.windowMisses = 0
 		if mpkc > c.cfg.SMDThresholdMPKC {
 			c.downgradeOn = true
 			c.stats.SMDEnables++
+			if c.obs != nil {
+				c.cSMDEnables.Inc()
+				c.gDowngradeOn.Set(1)
+				if c.obs.Tracing() {
+					c.obs.Emit(obs.Event{T: boundary, Kind: obs.KindSMDEnable, MPKC: mpkc})
+				}
+			}
 			return
 		}
+		if c.obs != nil && c.obs.Tracing() {
+			c.obs.Emit(obs.Event{T: boundary, Kind: obs.KindSMDWindow, MPKC: mpkc})
+		}
 	}
+}
+
+// markMDT records a downgrade's region in the MDT, emitting a mark
+// event the first time a region turns dirty since the last sweep.
+func (c *Controller) markMDT(addr, nowCPU uint64) {
+	rg := c.regionOf(addr)
+	if c.obs != nil && !c.mdt.get(rg) {
+		c.cMDTMarks.Inc()
+		if c.obs.Tracing() {
+			c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindMDTMark, Region: rg})
+		}
+	}
+	c.mdt.set(rg, true)
 }
 
 // noteActiveTime attributes elapsed active cycles to the Fig. 14 metric.
@@ -300,18 +371,21 @@ func (c *Controller) OnRead(lineAddr, nowCPU uint64) (ReadOutcome, error) {
 	addr := lineAddr % c.cfg.TotalLines
 	if !c.strongMode.get(addr) {
 		c.stats.WeakReads++
+		c.cWeakReads.Inc()
 		return ReadOutcome{}, nil
 	}
 	c.stats.StrongReads++
+	c.cStrongReads.Inc()
 	if !c.downgradeOn {
 		return ReadOutcome{StrongDecode: true}, nil
 	}
 	// ECC-Downgrade: re-encode weak, mark mode bit and MDT region.
 	c.strongMode.set(addr, false)
 	if c.mdt != nil {
-		c.mdt.set(c.regionOf(addr), true)
+		c.markMDT(addr, nowCPU)
 	}
 	c.stats.Downgrades++
+	c.cDowngrades.Inc()
 	return ReadOutcome{StrongDecode: true, Downgrade: true}, nil
 }
 
@@ -330,9 +404,10 @@ func (c *Controller) OnWrite(lineAddr, nowCPU uint64) error {
 	if c.downgradeOn && c.strongMode.get(addr) {
 		c.strongMode.set(addr, false)
 		if c.mdt != nil {
-			c.mdt.set(c.regionOf(addr), true)
+			c.markMDT(addr, nowCPU)
 		}
 		c.stats.Downgrades++
+		c.cDowngrades.Inc()
 	}
 	return nil
 }
@@ -345,6 +420,9 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 		return IdleTransition{}, fmt.Errorf("%w: EnterIdle in %v", ErrBadPhase, c.phase)
 	}
 	c.noteActiveTime(nowCPU)
+	if c.obs != nil && c.obs.Tracing() {
+		c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindSweepStart, Regions: c.MDTTrackedRegions()})
+	}
 
 	// The sweeps below run word-at-a-time over the mode bitset (count the
 	// weak lines in a region, then fill it) instead of testing each line
@@ -381,9 +459,23 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 
 	c.stats.UpgradedLines += tr.LinesUpgraded
 	c.stats.Sweeps++
+	wasOn := c.downgradeOn
 	c.phase = PhaseIdle
 	c.downgradeOn = false
 	c.windowMisses = 0
+	if c.obs != nil {
+		c.cSweeps.Inc()
+		c.cUpgraded.Add(tr.LinesUpgraded)
+		c.gDowngradeOn.Set(0)
+		if c.obs.Tracing() {
+			c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindSweepEnd,
+				Lines: tr.LinesUpgraded, Regions: tr.RegionsSwept, Cycles: tr.SweepCycles})
+			if wasOn {
+				c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindSMDDisable})
+			}
+			c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindMECCTransition, Phase: PhaseIdle.String()})
+		}
+	}
 	return tr, nil
 }
 
@@ -399,6 +491,17 @@ func (c *Controller) ExitIdle(nowCPU uint64) error {
 	c.windowStart = nowCPU
 	c.windowMisses = 0
 	c.lastSeen = nowCPU
+	if c.obs != nil {
+		c.gDowngradeOn.Set(boolGauge(c.downgradeOn))
+		if c.obs.Tracing() {
+			c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindMECCTransition, Phase: PhaseActive.String()})
+			if c.downgradeOn {
+				// Without SMD the downgrade path opens unconditionally on
+				// wake-up; there is no MPKC sample behind the decision.
+				c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindSMDEnable})
+			}
+		}
+	}
 	return nil
 }
 

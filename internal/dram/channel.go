@@ -3,6 +3,9 @@ package dram
 import (
 	"errors"
 	"fmt"
+	"strings"
+
+	"repro/internal/obs"
 )
 
 // Errors returned on illegal command sequences. The memory controller is
@@ -139,6 +142,11 @@ type Channel struct {
 	// auditor, when set, records every issued command for independent
 	// post-hoc constraint validation.
 	auditor *Auditor
+	// obs, when set, receives per-command counters and structured
+	// events; nil (the default) costs one branch per command.
+	obs         *obs.Recorder
+	cmdCounters [CmdREFpb + 1]*obs.Counter
+	srPulses    *obs.Counter
 	// contentsLost latches after PASR (partially) or DPD (fully) until
 	// acknowledged via ContentsLost.
 	contentsLost float64
@@ -175,10 +183,31 @@ func (ch *Channel) Stats() Stats { return ch.stats }
 // one append per command; attach it in tests, not in benchmark loops.
 func (ch *Channel) SetAuditor(a *Auditor) { ch.auditor = a }
 
-// record notes an issued command when an auditor is attached.
+// SetObserver attaches a telemetry recorder (nil detaches): every
+// issued command increments a dram_<cmd>_total counter and, when
+// tracing, emits a KindDRAMCmd event stamped in DRAM cycles.
+func (ch *Channel) SetObserver(r *obs.Recorder) {
+	ch.obs = r
+	if r == nil {
+		return
+	}
+	for k := CmdACT; k <= CmdREFpb; k++ {
+		ch.cmdCounters[k] = r.Counter("dram_" + strings.ToLower(k.String()) + "_total")
+	}
+	ch.srPulses = r.Counter("dram_self_refresh_pulses_total")
+}
+
+// record notes an issued command when an auditor or observer is
+// attached.
 func (ch *Channel) record(kind CommandKind, bank, row int) {
 	if ch.auditor != nil {
 		ch.auditor.Record(ch.now, kind, bank, row)
+	}
+	if ch.obs != nil {
+		ch.cmdCounters[kind].Inc()
+		if ch.obs.Tracing() {
+			ch.obs.Emit(obs.Event{T: ch.now, Kind: obs.KindDRAMCmd, Cmd: kind.String(), Bank: bank, Row: row})
+		}
 	}
 }
 
@@ -220,10 +249,12 @@ func (ch *Channel) AdvanceTo(cycle uint64) {
 		// Account the self-refresh pulses that elapsed.
 		eff := uint64(ch.cfg.Timing.TREFI) << ch.dividerBits
 		ch.stats.NSelfRefreshPulses += delta / eff
+		ch.srPulses.Add(delta / eff)
 	case StatePASR:
 		ch.stats.CyclesPASR += delta
 		eff := uint64(ch.cfg.Timing.TREFI) << ch.dividerBits
 		ch.stats.NSelfRefreshPulses += delta / eff
+		ch.srPulses.Add(delta / eff)
 	case StateDeepPowerDown:
 		ch.stats.CyclesDPD += delta
 	}
@@ -494,6 +525,9 @@ func (ch *Channel) EnterSelfRefresh(dividerBits int) error {
 	ch.dividerBits = dividerBits
 	ch.stats.SRDividerBits = dividerBits
 	ch.srEnteredAt = ch.now
+	if ch.obs != nil && ch.obs.Tracing() {
+		ch.obs.Emit(obs.Event{T: ch.now, Kind: obs.KindRefreshRate, Shift: dividerBits})
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -34,6 +35,11 @@ type Options struct {
 	Seed int64
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
+	// Obs, when non-nil, is threaded into every simulation the harness
+	// runs. The recorder's counters are atomic and its event log is
+	// locked, so parallel runs may share it; nil (the default) keeps
+	// telemetry off.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns the harness defaults.
@@ -78,6 +84,7 @@ func (o Options) simConfig(k sim.SchemeKind) sim.Config {
 	if cfg.MECC.SMDWindowCycles == 0 {
 		cfg.MECC.SMDWindowCycles = 1
 	}
+	cfg.Obs = o.Obs
 	return cfg
 }
 

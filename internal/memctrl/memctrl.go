@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/obs"
 )
 
 // Errors returned by the controller.
@@ -192,6 +193,15 @@ type Controller struct {
 
 	onReadDone func(*Request)
 	stats      Stats
+
+	// Telemetry (nil-safe no-ops when detached).
+	obs        *obs.Recorder
+	cReads     *obs.Counter
+	cWrites    *obs.Counter
+	cRefreshes *obs.Counter
+	cDrains    *obs.Counter
+	hLatency   *obs.Histogram
+	gShift     *obs.Gauge
 }
 
 // New builds a controller over a channel. onReadDone is invoked (possibly
@@ -215,12 +225,35 @@ func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, 
 // Channel returns the underlying DRAM channel.
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
+// SetObserver attaches a telemetry recorder (nil detaches): request and
+// refresh counters, the read-latency histogram, and refresh events.
+func (c *Controller) SetObserver(r *obs.Recorder) {
+	c.obs = r
+	if r == nil {
+		c.cReads, c.cWrites, c.cRefreshes, c.cDrains = nil, nil, nil, nil
+		c.hLatency, c.gShift = nil, nil
+		return
+	}
+	c.cReads = r.Counter("memctrl_reads_total")
+	c.cWrites = r.Counter("memctrl_writes_total")
+	c.cRefreshes = r.Counter("memctrl_refreshes_total")
+	c.cDrains = r.Counter("memctrl_write_drains_total")
+	c.hLatency = r.Histogram("memctrl_read_latency_dram_cycles")
+	c.gShift = r.Gauge("memctrl_refresh_shift_bits")
+}
+
 // SetRefreshShift divides the auto-refresh rate by 2^shift — the MECC
 // refresh-rate modulation applied during active mode when SMD keeps the
 // memory fully ECC-6 protected (refresh interval tREFI << shift).
 func (c *Controller) SetRefreshShift(shift int) {
 	if shift < 0 {
 		shift = 0
+	}
+	if shift != c.refreshShift && c.obs != nil {
+		c.gShift.Set(float64(shift))
+		if c.obs.Tracing() {
+			c.obs.Emit(obs.Event{T: c.ch.Now(), Kind: obs.KindRefreshRate, Shift: shift})
+		}
 	}
 	c.refreshShift = shift
 }
@@ -266,6 +299,8 @@ func (c *Controller) EnqueueRead(lineAddr, tag uint64) error {
 			}
 			c.stats.ReadsEnqueued++
 			c.stats.ReadsDone++
+			c.cReads.Inc()
+			c.hLatency.Observe(0)
 			if c.onReadDone != nil {
 				c.onReadDone(r)
 			}
@@ -280,6 +315,7 @@ func (c *Controller) EnqueueRead(lineAddr, tag uint64) error {
 	}
 	c.readQ = append(c.readQ, r)
 	c.stats.ReadsEnqueued++
+	c.cReads.Inc()
 	return nil
 }
 
@@ -297,6 +333,7 @@ func (c *Controller) EnqueueWrite(lineAddr, tag uint64) error {
 	}
 	c.writeQ = append(c.writeQ, r)
 	c.stats.WritesEnqueued++
+	c.cWrites.Inc()
 	return nil
 }
 
@@ -370,6 +407,7 @@ func (c *Controller) completeReads() {
 				}
 			}
 			c.stats.LatencyHist[bucket]++
+			c.hLatency.Observe(lat)
 			if c.onReadDone != nil {
 				c.onReadDone(r)
 			}
@@ -412,6 +450,7 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
+		c.noteRefresh(-1)
 		c.nextRefreshAt += c.refreshInterval()
 		return true
 	}
@@ -447,6 +486,7 @@ func (c *Controller) issuePerBankRefresh() bool {
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
+		c.noteRefresh(bank)
 		c.nextRefreshAt += c.refreshInterval()
 		c.refreshBank = (bank + 1) % c.ch.Config().TotalBanks()
 		return true
@@ -462,6 +502,22 @@ func (c *Controller) issuePerBankRefresh() bool {
 		return true
 	}
 	return true // urgent: hold the slot until the bank frees up
+}
+
+// noteRefresh accounts one issued refresh to telemetry; bank is -1 for
+// an all-bank REF.
+func (c *Controller) noteRefresh(bank int) {
+	if c.obs == nil {
+		return
+	}
+	c.cRefreshes.Inc()
+	if c.obs.Tracing() {
+		e := obs.Event{T: c.ch.Now(), Kind: obs.KindRefresh, Shift: c.refreshShift}
+		if bank >= 0 {
+			e.Bank = bank
+		}
+		c.obs.Emit(e)
+	}
 }
 
 // bankHasQueuedWork reports whether any queued or in-flight request
@@ -495,6 +551,7 @@ func (c *Controller) activeQueue() []*Request {
 	if len(c.writeQ) >= c.cfg.WriteHighWater {
 		c.draining = true
 		c.stats.WriteDrains++
+		c.cDrains.Inc()
 		return c.writeQ
 	}
 	if len(c.readQ) > 0 {

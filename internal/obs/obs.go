@@ -1,0 +1,114 @@
+package obs
+
+// Recorder is the telemetry handle threaded through the simulator: it
+// bundles a metrics registry, an optional structured event log, and an
+// optional time-series sampler. A nil *Recorder is the disabled state —
+// every method is a no-op and every metric handle it returns is a
+// nil no-op — so instrumented packages hold a possibly-nil *Recorder
+// and never branch on "is telemetry on" beyond a nil check.
+type Recorder struct {
+	reg     *Registry
+	log     *EventLog
+	sampler *Sampler
+}
+
+// New builds a recorder with a fresh registry and no event log or
+// sampler (metrics only).
+func New() *Recorder {
+	return &Recorder{reg: NewRegistry()}
+}
+
+// SetEventLog attaches (or, with nil, detaches) an event log.
+func (r *Recorder) SetEventLog(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.log = l
+}
+
+// SetSampler attaches (or, with nil, detaches) a time-series sampler.
+func (r *Recorder) SetSampler(s *Sampler) {
+	if r == nil {
+		return
+	}
+	r.sampler = s
+}
+
+// Registry returns the metrics registry (nil on a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// EventLog returns the attached event log, if any.
+func (r *Recorder) EventLog() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.log
+}
+
+// Sampler returns the attached sampler, if any.
+func (r *Recorder) Sampler() *Sampler {
+	if r == nil {
+		return nil
+	}
+	return r.sampler
+}
+
+// Counter resolves a named counter (nil no-op handle when disabled).
+// Resolve once at wiring time, not in hot loops: creation takes a lock.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge (nil no-op handle when disabled).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Gauge(name)
+}
+
+// Histogram resolves a named histogram (nil no-op handle when disabled).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Histogram(name)
+}
+
+// Emit records one structured event. Callers on hot paths should guard
+// the call (and the Event construction) behind their own nil check of
+// the recorder so the disabled path does no work at all.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || r.log == nil {
+		return
+	}
+	r.log.add(e)
+}
+
+// Tracing reports whether an event log is attached — hot paths use it
+// to skip Event construction entirely when no one is listening.
+func (r *Recorder) Tracing() bool { return r != nil && r.log != nil }
+
+// Tick advances the sampler, if any, to cycle now.
+func (r *Recorder) Tick(now uint64) {
+	if r == nil || r.sampler == nil {
+		return
+	}
+	r.sampler.Tick(now)
+}
+
+// Flush drains any buffered trace output.
+func (r *Recorder) Flush() error {
+	if r == nil || r.log == nil {
+		return nil
+	}
+	return r.log.Flush()
+}

@@ -1,0 +1,338 @@
+// Package obs is the simulator's telemetry subsystem: a metrics
+// registry (counters, gauges, log2-bucket latency histograms), a typed
+// structured event trace (DRAM commands, refresh ops, MECC mode
+// transitions, SMD decisions, MDT marks, decode-latency samples), and a
+// per-quantum time-series sampler, with JSONL / CSV / Prometheus-style
+// exporters and an ASCII timeline renderer.
+//
+// Every entry point is nil-safe: a nil *Recorder, *Counter, *Gauge or
+// *Histogram is a no-op, so instrumented hot paths (the BCH decoder,
+// the DRAM command issue path) pay one nil check and zero allocations
+// when telemetry is disabled, and simulation results are bit-identical
+// either way — the subsystem only observes, it never steers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric. All methods are safe for concurrent use
+// and are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the bucket count of a log2 histogram: bucket 0 holds
+// the value 0 and bucket i holds values in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a log2-bucket histogram of non-negative integer samples
+// (latencies in cycles, batch sizes, ...). Observations are lock-free;
+// a nil receiver is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return uint64(1)<<i - 1
+}
+
+// Quantile returns an upper bound on the p-quantile (0 < p <= 1): the
+// upper edge of the log2 bucket in which the quantile falls. It returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Buckets returns the non-empty (upperBound, count) pairs in ascending
+// bound order.
+func (h *Histogram) Buckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, HistBucket{Upper: bucketUpper(i), Count: n})
+		}
+	}
+	return out
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	// Upper is the inclusive upper bound of the bucket.
+	Upper uint64
+	// Count is the number of samples in the bucket.
+	Count uint64
+}
+
+// Registry names and owns a set of metrics. Metric creation takes a
+// lock; the returned handles are lock-free. A nil *Registry hands out
+// nil handles, which are themselves no-ops, so "registry disabled"
+// needs no call-site branching.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gauge map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gauge: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteProm renders every metric in Prometheus text exposition format,
+// in deterministic (sorted) order. Histograms expose cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.ctrs) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.ctrs[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauge) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, r.gauge[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Upper, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count(), name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders scalar metrics (counters and gauges, plus histogram
+// count/sum/p50/p99) as name,value rows in sorted order.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := fmt.Fprintln(w, "name,value"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(r.ctrs) {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", name, r.ctrs[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauge) {
+		if _, err := fmt.Fprintf(w, "%s,%g\n", name, r.gauge[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "%s_count,%d\n%s_sum,%d\n%s_p50,%d\n%s_p99,%d\n",
+			name, h.Count(), name, h.Sum(), name, h.Quantile(0.50), name, h.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.ctrs)
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "repro/internal/obs"
+
+// attachObserver wires the runner and every layer below it to the
+// config's recorder. A nil recorder leaves all handles nil, which keeps
+// the hot paths on their zero-allocation no-op branches.
+func (r *Runner) attachObserver() {
+	rec := r.cfg.Obs
+	r.obs = rec
+	r.hDecode = rec.Histogram("sim_decode_cycles")
+	r.ch.SetObserver(rec)
+	r.ctl.SetObserver(rec)
+}
+
+// noteDecode accounts one demand read's ECC decode latency (CPU cycles)
+// in the sim_decode_cycles histogram and, when tracing, as a KindDecode
+// event stamped with the CPU clock.
+func (r *Runner) noteDecode(decodeCycles int) {
+	if r.obs == nil {
+		return
+	}
+	r.hDecode.Observe(uint64(decodeCycles))
+	if r.obs.Tracing() {
+		// ECC-6 always decodes strong; MECC decodes strong exactly when
+		// the scheme charged the strong latency.
+		strong := r.cfg.Scheme == SchemeECC6 ||
+			(r.cfg.Scheme == SchemeMECC && decodeCycles == r.cfg.StrongDecodeCycles)
+		r.obs.Emit(obs.Event{T: r.cpu.Now(), Kind: obs.KindDecode, Cycles: uint64(decodeCycles), Strong: strong})
+	}
+}
+
+// RegisterProbes attaches the standard per-quantum time series to a
+// sampler: memory traffic and refresh counters (differenced per
+// quantum), MECC read-mode counters when the scheme is MECC, and the
+// instantaneous IPC and downgrade-window gauges. Call after NewRunner
+// and before Run; the sampler is ticked from the run loop on the CPU
+// clock.
+func (r *Runner) RegisterProbes(s *obs.Sampler) {
+	if s == nil || r.obs == nil {
+		return
+	}
+	reg := r.obs.Registry()
+	s.AddCounterProbe("dram_reads", reg.Counter("memctrl_reads_total"))
+	s.AddCounterProbe("dram_writes", reg.Counter("memctrl_writes_total"))
+	s.AddCounterProbe("refreshes", reg.Counter("memctrl_refreshes_total"))
+	if r.sch.mecc() != nil {
+		s.AddCounterProbe("strong_reads", reg.Counter("mecc_strong_reads_total"))
+		s.AddCounterProbe("weak_reads", reg.Counter("mecc_weak_reads_total"))
+		s.AddCounterProbe("downgrades", reg.Counter("mecc_downgrades_total"))
+		s.AddGaugeProbe("slow_refresh", func() float64 {
+			if r.sch.refreshShift() > 0 {
+				return 1
+			}
+			return 0
+		})
+	}
+	s.AddGaugeProbe("ipc", func() float64 { return r.cpu.IPC() })
+}

@@ -4,6 +4,7 @@ package sim
 // the data burst and its ECC decode complete. decodeCycles is the
 // scheme's decode latency in CPU cycles.
 func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
+	r.noteDecode(decodeCycles)
 	r.syncDRAM()
 	// Prefetch-buffer hit: the line is already on chip; only the decode
 	// latency (and a buffer-access cycle) remains.

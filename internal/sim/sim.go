@@ -9,6 +9,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/ecc"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -44,6 +45,11 @@ type Config struct {
 	// small buffer that later demand reads hit with near-zero DRAM
 	// latency (they still pay their ECC decode).
 	NextLinePrefetch bool
+	// Obs, when non-nil, receives metrics, events, and samples from
+	// every layer of the simulation (internal/obs). Nil — the default —
+	// keeps the hot paths on their zero-allocation no-op branches and
+	// leaves results bit-identical.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper's baseline system with the given
@@ -126,6 +132,10 @@ type Runner struct {
 	calc                 *power.Calculator
 	weakCost, strongCost ecc.CostModel
 
+	// Telemetry (nil-safe; see attachObserver).
+	obs     *obs.Recorder
+	hDecode *obs.Histogram
+
 	pendingWB []uint64
 	waitTag   uint64
 	waitDone  bool
@@ -196,6 +206,7 @@ func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.S
 	if r.sch, err = buildScheme(cfg); err != nil {
 		return nil, err
 	}
+	r.attachObserver()
 	weak, err := ecc.NewLineSECDED()
 	if err != nil {
 		return nil, err
@@ -224,6 +235,9 @@ func buildScheme(cfg Config) (scheme, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Attach telemetry before the initial wake-up so the first
+		// phase transition is observable too.
+		ctl.SetObserver(cfg.Obs)
 		// The slice models a wake-up from idle: all lines strong.
 		if err := ctl.ExitIdle(0); err != nil {
 			return nil, err
@@ -387,6 +401,9 @@ func (r *Runner) runLoop() error {
 				return err
 			}
 			r.cpu.Execute(1)
+		}
+		if r.obs != nil {
+			r.obs.Tick(r.cpu.Now())
 		}
 		if checkAt > 0 && int64(r.cpu.Retired()) >= checkAt*int64(len(r.checkpoints)+1) {
 			r.checkpoints = append(r.checkpoints, Checkpoint{

@@ -14,6 +14,14 @@ import (
 // ErrEmpty reports an aggregate over no values.
 var ErrEmpty = errors.New("stats: empty input")
 
+// ErrNonPositive reports a geometric mean over a zero, negative, or
+// non-finite value.
+var ErrNonPositive = errors.New("stats: non-positive value")
+
+// ErrZeroBaseline reports a normalization against a zero or non-finite
+// baseline.
+var ErrZeroBaseline = errors.New("stats: zero baseline")
+
 // Geomean returns the geometric mean of positive values.
 func Geomean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
@@ -21,8 +29,8 @@ func Geomean(xs []float64) (float64, error) {
 	}
 	var sum float64
 	for _, x := range xs {
-		if x <= 0 {
-			return 0, fmt.Errorf("stats: geomean of nonpositive value %g", x)
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 1) {
+			return 0, fmt.Errorf("%w: geomean of %g", ErrNonPositive, x)
 		}
 		sum += math.Log(x)
 	}
@@ -41,15 +49,18 @@ func Mean(xs []float64) (float64, error) {
 	return sum / float64(len(xs)), nil
 }
 
-// Normalize divides each value by the baseline.
-func Normalize(xs []float64, baseline float64) []float64 {
+// Normalize divides each value by the baseline. A zero or non-finite
+// baseline returns ErrZeroBaseline rather than silently producing zeros
+// or infinities.
+func Normalize(xs []float64, baseline float64) ([]float64, error) {
+	if baseline == 0 || math.IsNaN(baseline) || math.IsInf(baseline, 0) {
+		return nil, fmt.Errorf("%w: %g", ErrZeroBaseline, baseline)
+	}
 	out := make([]float64, len(xs))
 	for i, x := range xs {
-		if baseline != 0 {
-			out[i] = x / baseline
-		}
+		out[i] = x / baseline
 	}
-	return out
+	return out, nil
 }
 
 // Table renders fixed-width text tables for harness output.

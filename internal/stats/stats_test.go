@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -14,14 +15,21 @@ func TestGeomean(t *testing.T) {
 	if math.Abs(got-4) > 1e-12 {
 		t.Errorf("geomean = %v, want 4", got)
 	}
-	if _, err := Geomean(nil); err == nil {
-		t.Error("empty: want error")
+	bad := []struct {
+		name    string
+		xs      []float64
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"zero value", []float64{1, 0}, ErrNonPositive},
+		{"negative", []float64{-1}, ErrNonPositive},
+		{"nan", []float64{math.NaN()}, ErrNonPositive},
+		{"inf", []float64{math.Inf(1)}, ErrNonPositive},
 	}
-	if _, err := Geomean([]float64{1, 0}); err == nil {
-		t.Error("zero value: want error")
-	}
-	if _, err := Geomean([]float64{-1}); err == nil {
-		t.Error("negative: want error")
+	for _, tc := range bad {
+		if _, err := Geomean(tc.xs); !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
 	}
 }
 
@@ -39,12 +47,26 @@ func TestMean(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
-	got := Normalize([]float64{2, 4}, 4)
+	got, err := Normalize([]float64{2, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[0] != 0.5 || got[1] != 1 {
 		t.Errorf("normalize = %v", got)
 	}
-	if got := Normalize([]float64{1}, 0); got[0] != 0 {
-		t.Error("zero baseline should yield zeros")
+	bad := []struct {
+		name     string
+		baseline float64
+	}{
+		{"zero", 0},
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+	}
+	for _, tc := range bad {
+		if _, err := Normalize([]float64{1}, tc.baseline); !errors.Is(err, ErrZeroBaseline) {
+			t.Errorf("%s baseline: err = %v, want ErrZeroBaseline", tc.name, err)
+		}
 	}
 }
 
