@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench bench-json vet fmt paperbench trace-demo fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json vet fmt paperbench trace-demo fuzz fuzz-short clean
 
 all: build test
 
@@ -14,6 +14,11 @@ test:
 
 cover:
 	$(GO) test -cover ./...
+
+# Enforce per-package coverage floors (internal/bch, core, sim); see
+# scripts/cover_gate.sh for the numbers and the raising policy.
+cover-gate:
+	GO=$(GO) sh scripts/cover_gate.sh
 
 # The per-exhibit benchmark harness (reduced scale).
 bench:

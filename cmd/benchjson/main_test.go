@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"testing"
+)
+
+// runMain invokes run() with a fresh flag set and the given arguments,
+// capturing stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	os.Args = append([]string{"benchjson"}, args...)
+	flag.CommandLine = flag.NewFlagSet("benchjson", flag.PanicOnError)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	os.Args, flag.CommandLine = oldArgs, oldFlags
+	out := <-outc
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
+
+// TestSmoke runs the benchmark report at a tiny Fig. 7 scale and checks
+// the JSON document shape, including the zero-allocation guarantee the
+// report exists to track. Skipped in -short mode: testing.Benchmark
+// needs about a second per entry.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks take ~1s each")
+	}
+	out := runMain(t, "-scale", "40000", "-seed", "1")
+	var rep Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Benchmarks) < 4 {
+		t.Fatalf("only %d benchmark entries", len(rep.Benchmarks))
+	}
+	seen := map[string]Entry{}
+	for _, e := range rep.Benchmarks {
+		if e.Iterations == 0 {
+			t.Errorf("%s ran zero iterations", e.Name)
+		}
+		seen[e.Name] = e
+	}
+	if e, ok := seen["DecodeT6"]; !ok {
+		t.Error("DecodeT6 entry missing")
+	} else if e.AllocsPerOp != 0 {
+		t.Errorf("DecodeT6 allocates %d/op, want 0", e.AllocsPerOp)
+	}
+	if rep.Fig7Seconds <= 0 {
+		t.Error("Fig7 exhibit did not run")
+	}
+}

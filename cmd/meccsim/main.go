@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/bch"
+	"repro/internal/checker"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/obs"
@@ -127,6 +128,7 @@ func run() error {
 		traceEvents = flag.String("trace-events", "all", "event kinds to trace: all, or a comma list (dram_cmd,refresh,mecc_transition,smd_enable,...)")
 		metricsOut  = flag.String("metrics-out", "", "write run metrics to this file (- for stdout; .csv selects CSV, otherwise Prometheus text)")
 		timeline    = flag.Bool("timeline", false, "render an ASCII run timeline after the report")
+		check       = flag.Bool("check", false, "attach run-time invariant checkers; violations fail the run")
 	)
 	flag.Parse()
 
@@ -224,6 +226,10 @@ func run() error {
 		cfg.Obs = rec
 	}
 
+	if *check {
+		cfg.Check = checker.NewSuite()
+	}
+
 	var res sim.Result
 	var runner *sim.Runner
 	if *traceFile != "" {
@@ -241,6 +247,14 @@ func run() error {
 	runner.RegisterProbes(sampler)
 	if res, err = runner.Run(); err != nil {
 		return err
+	}
+	if cfg.Check != nil {
+		for _, v := range cfg.Check.Violations() {
+			fmt.Fprintln(os.Stderr, "meccsim: violation:", v)
+		}
+		if err := cfg.Check.Err(); err != nil {
+			return err
+		}
 	}
 	if cfg.Obs != nil {
 		if err := cfg.Obs.Flush(); err != nil {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runMain invokes run() with a fresh flag set and the given arguments,
+// capturing stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	os.Args = append([]string{"meccsim"}, args...)
+	flag.CommandLine = flag.NewFlagSet("meccsim", flag.PanicOnError)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	os.Args, flag.CommandLine = oldArgs, oldFlags
+	out := <-outc
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
+
+// TestSmokeCheckedJSON runs a small checked simulation and parses the
+// JSON report — the run must finish with zero invariant violations
+// (violations make run() return an error).
+func TestSmokeCheckedJSON(t *testing.T) {
+	out := runMain(t, "-bench", "libq", "-scheme", "mecc", "-scale", "20000", "-seed", "1", "-check", "-json")
+	var res sim.Result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.Benchmark != "libq" || res.Scheme != sim.SchemeMECC {
+		t.Errorf("result header = %s/%v", res.Benchmark, res.Scheme)
+	}
+	if res.Instructions == 0 || res.IPC <= 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}
+
+func TestSmokeTextReport(t *testing.T) {
+	out := runMain(t, "-bench", "gcc", "-scheme", "ecc6", "-scale", "20000")
+	for _, want := range []string{"benchmark", "IPC", "energy", "EDP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeList(t *testing.T) {
+	out := runMain(t, "-list")
+	if !strings.Contains(out, "libq") || !strings.Contains(out, "gcc") {
+		t.Errorf("benchmark list incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runMain invokes run() with a fresh flag set and the given arguments,
+// capturing stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	os.Args = append([]string{"obsdump"}, args...)
+	flag.CommandLine = flag.NewFlagSet("obsdump", flag.PanicOnError)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	os.Args, flag.CommandLine = oldArgs, oldFlags
+	out := <-outc
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
+
+// TestGolden pins the full pretty-printed rendering — one line per
+// event with kind-specific fields, plus the census — against a trace
+// that covers every event kind. Regenerate with `go test -update`.
+func TestGolden(t *testing.T) {
+	out := runMain(t, filepath.Join("testdata", "trace.jsonl"))
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("output differs from %s (run `go test -update` if intended)\ngot:\n%s\nwant:\n%s",
+			golden, out, want)
+	}
+}
+
+// TestKindFilter checks -kinds and -n narrow the listing but leave the
+// census counting every event.
+func TestKindFilter(t *testing.T) {
+	out := runMain(t, "-kinds", "refresh_rate", "-n", "2",
+		filepath.Join("testdata", "trace.jsonl"))
+	var listed int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "refresh interval") {
+			listed++
+		}
+		if strings.Contains(line, "dram_cmd") && !strings.Contains(line, "events:") {
+			// dram_cmd may only appear in the census section.
+			if !strings.Contains(out[strings.Index(out, "events:"):], line) {
+				t.Errorf("filtered kind leaked into listing: %q", line)
+			}
+		}
+	}
+	if listed != 2 {
+		t.Errorf("-kinds refresh_rate -n 2 printed %d matching lines, want 2", listed)
+	}
+	if !strings.Contains(out, "20 events:") {
+		t.Errorf("census should still count all 20 events:\n%s", out)
+	}
+}
+
+// TestStdin checks the no-argument stdin path.
+func TestStdin(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	oldIn := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldIn }()
+	out := runMain(t, "-census=false")
+	if !strings.Contains(out, "mecc_transition") || strings.Contains(out, "events:") {
+		t.Errorf("stdin rendering wrong:\n%s", out)
+	}
+}

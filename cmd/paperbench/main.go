@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/bch"
+	"repro/internal/checker"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -73,6 +74,7 @@ func run() error {
 		timeline   = flag.Bool("timeline", false, "render the event-census timeline after the run (implies event collection)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		check      = flag.Bool("check", false, "attach run-time invariant checkers to every simulation; violations fail the run")
 	)
 	flag.Parse()
 
@@ -161,6 +163,9 @@ func run() error {
 	defer batch.SetObserver(nil)
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Obs: rec}
+	if *check {
+		opts.Check = checker.NewSuite()
+	}
 	if err := opts.Validate(); err != nil {
 		return err
 	}
@@ -499,6 +504,15 @@ func run() error {
 	if *timeline {
 		fmt.Println()
 		fmt.Print(obs.NewTimeline(nil, elog.Events()).String())
+	}
+	if opts.Check != nil {
+		for _, v := range opts.Check.Violations() {
+			fmt.Fprintln(os.Stderr, "paperbench: violation:", v)
+		}
+		if err := opts.Check.Err(); err != nil {
+			return err
+		}
+		fmt.Println("\ninvariant checkers: all clean")
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// snapshotExhibits are the deterministic exhibits pinned by the golden
+// snapshot: the analytic tables/figures plus the phase-pattern day
+// simulation. Wall-clock-dependent output (-summary) stays off.
+const snapshotExhibits = "table1,fig2,fig8,modes,capacity,day"
+
+// runMain invokes run() with a fresh flag set and the given arguments,
+// capturing stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	os.Args = append([]string{"paperbench"}, args...)
+	flag.CommandLine = flag.NewFlagSet("paperbench", flag.PanicOnError)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := run()
+	w.Close()
+	os.Stdout = old
+	os.Args, flag.CommandLine = oldArgs, oldFlags
+	out := <-outc
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return out
+}
+
+// TestSnapshotScale50 diffs the -scale 50 -seed 1 exhibit output against
+// the committed golden summary, so a refactor that silently changes
+// results fails loudly. Regenerate with `go test -update` — and eyeball
+// the diff first: a changed golden IS a changed result.
+func TestSnapshotScale50(t *testing.T) {
+	out := runMain(t, "-experiment", snapshotExhibits,
+		"-scale", "50", "-seed", "1", "-summary=false", "-check")
+	golden := filepath.Join("testdata", "snapshot_scale50.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("exhibit output diverged from %s (run `go test -update` only if the change is intended)\n%s",
+			golden, firstDiff(out, string(want)))
+	}
+}
+
+// TestSnapshotDeterministic runs the same exhibits twice and requires
+// byte-identical output: the golden test above is only meaningful if
+// the simulator is deterministic under a fixed seed.
+func TestSnapshotDeterministic(t *testing.T) {
+	a := runMain(t, "-experiment", "day", "-scale", "50", "-seed", "1", "-summary=false")
+	b := runMain(t, "-experiment", "day", "-scale", "50", "-seed", "1", "-summary=false")
+	if a != b {
+		t.Errorf("two identical runs diverged:\n%s", firstDiff(a, b))
+	}
+}
+
+// firstDiff renders the first differing line of two outputs.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n got: " + g[i] + "\nwant: " + w[i]
+		}
+	}
+	return "lengths differ: got " + strconv.Itoa(len(g)) + " lines, want " + strconv.Itoa(len(w))
+}

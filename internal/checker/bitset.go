@@ -1,0 +1,29 @@
+package checker
+
+// bitset is a dense bit vector for the MECC shadow mode bitmap (2 MB at
+// the paper's 16M-line memory).
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n uint64) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitset) get(i uint64) bool {
+	return b.words[i>>6]>>(i&63)&1 == 1
+}
+
+func (b *bitset) set(i uint64, v bool) {
+	if v {
+		b.words[i>>6] |= 1 << (i & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (i & 63)
+	}
+}
+
+func (b *bitset) clearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/checker"
 	"repro/internal/obs"
 )
 
@@ -184,6 +185,9 @@ type Controller struct {
 
 	stats Stats
 
+	// Invariant checker (nil-safe no-ops when detached).
+	chk *checker.MECC
+
 	// Telemetry (nil-safe no-ops when detached).
 	obs          *obs.Recorder
 	cStrongReads *obs.Counter
@@ -241,6 +245,21 @@ func (c *Controller) SetObserver(r *obs.Recorder) {
 	c.cMDTMarks = r.Counter("mecc_mdt_marks_total")
 	c.gDowngradeOn = r.Gauge("mecc_downgrade_on")
 	c.gDowngradeOn.Set(boolGauge(c.downgradeOn))
+}
+
+// SetChecker attaches a run-time invariant tracker (nil detaches). The
+// tracker synchronizes with the controller's current phase and shadows
+// every subsequent ECC-mode transition; attach it before any lines are
+// downgraded (its shadow bitmap starts all-strong).
+func (c *Controller) SetChecker(t *checker.MECC) {
+	c.chk = t
+	t.Attach(c, c.phase == PhaseActive, c.downgradeOn)
+}
+
+// MDTMarked reports whether the MDT currently marks the region (false
+// when MDT is disabled). Exposed for the checker's superset validation.
+func (c *Controller) MDTMarked(region uint64) bool {
+	return c.mdt != nil && region < c.mdt.len() && c.mdt.get(region)
 }
 
 // boolGauge renders a flag as a 0/1 gauge value.
@@ -318,6 +337,7 @@ func (c *Controller) advanceSMD(nowCPU uint64) {
 		if mpkc > c.cfg.SMDThresholdMPKC {
 			c.downgradeOn = true
 			c.stats.SMDEnables++
+			c.chk.OnSMDEnable(boundary, mpkc, true)
 			if c.obs != nil {
 				c.cSMDEnables.Inc()
 				c.gDowngradeOn.Set(1)
@@ -372,11 +392,13 @@ func (c *Controller) OnRead(lineAddr, nowCPU uint64) (ReadOutcome, error) {
 	if !c.strongMode.get(addr) {
 		c.stats.WeakReads++
 		c.cWeakReads.Inc()
+		c.chk.OnRead(addr, nowCPU, false, false)
 		return ReadOutcome{}, nil
 	}
 	c.stats.StrongReads++
 	c.cStrongReads.Inc()
 	if !c.downgradeOn {
+		c.chk.OnRead(addr, nowCPU, true, false)
 		return ReadOutcome{StrongDecode: true}, nil
 	}
 	// ECC-Downgrade: re-encode weak, mark mode bit and MDT region.
@@ -386,6 +408,7 @@ func (c *Controller) OnRead(lineAddr, nowCPU uint64) (ReadOutcome, error) {
 	}
 	c.stats.Downgrades++
 	c.cDowngrades.Inc()
+	c.chk.OnRead(addr, nowCPU, true, true)
 	return ReadOutcome{StrongDecode: true, Downgrade: true}, nil
 }
 
@@ -401,14 +424,18 @@ func (c *Controller) OnWrite(lineAddr, nowCPU uint64) error {
 	c.noteActiveTime(nowCPU)
 
 	addr := lineAddr % c.cfg.TotalLines
-	if c.downgradeOn && c.strongMode.get(addr) {
+	wasStrong := c.strongMode.get(addr)
+	if c.downgradeOn && wasStrong {
 		c.strongMode.set(addr, false)
 		if c.mdt != nil {
 			c.markMDT(addr, nowCPU)
 		}
 		c.stats.Downgrades++
 		c.cDowngrades.Inc()
+		c.chk.OnWrite(addr, nowCPU, true, true)
+		return nil
 	}
+	c.chk.OnWrite(addr, nowCPU, wasStrong, false)
 	return nil
 }
 
@@ -420,6 +447,8 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 		return IdleTransition{}, fmt.Errorf("%w: EnterIdle in %v", ErrBadPhase, c.phase)
 	}
 	c.noteActiveTime(nowCPU)
+	// The checker inspects the MDT before the sweep resets it.
+	c.chk.OnSweepStart(nowCPU)
 	if c.obs != nil && c.obs.Tracing() {
 		c.obs.Emit(obs.Event{T: nowCPU, Kind: obs.KindSweepStart, Regions: c.MDTTrackedRegions()})
 	}
@@ -463,6 +492,7 @@ func (c *Controller) EnterIdle(nowCPU uint64) (IdleTransition, error) {
 	c.phase = PhaseIdle
 	c.downgradeOn = false
 	c.windowMisses = 0
+	c.chk.OnSweepEnd(nowCPU, tr.LinesUpgraded)
 	if c.obs != nil {
 		c.cSweeps.Inc()
 		c.cUpgraded.Add(tr.LinesUpgraded)
@@ -491,6 +521,7 @@ func (c *Controller) ExitIdle(nowCPU uint64) error {
 	c.windowStart = nowCPU
 	c.windowMisses = 0
 	c.lastSeen = nowCPU
+	c.chk.OnPhase(nowCPU, true, c.downgradeOn)
 	if c.obs != nil {
 		c.gDowngradeOn.Set(boolGauge(c.downgradeOn))
 		if c.obs.Tracing() {

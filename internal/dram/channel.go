@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/checker"
 	"repro/internal/obs"
 )
 
@@ -147,6 +148,9 @@ type Channel struct {
 	obs         *obs.Recorder
 	cmdCounters [CmdREFpb + 1]*obs.Counter
 	srPulses    *obs.Counter
+	// chk, when set, is told about fast-forwards so the refresh-ratio
+	// invariant can exclude them; nil (the default) costs one nil check.
+	chk *checker.RefreshTracker
 	// contentsLost latches after PASR (partially) or DPD (fully) until
 	// acknowledged via ContentsLost.
 	contentsLost float64
@@ -196,6 +200,12 @@ func (ch *Channel) SetObserver(r *obs.Recorder) {
 	}
 	ch.srPulses = r.Counter("dram_self_refresh_pulses_total")
 }
+
+// SetChecker attaches a refresh-ratio invariant tracker (nil detaches).
+// The channel reports fast-forwarded stretches so the tracker can
+// exclude them from auto-refresh accounting and cross-check the pulses
+// credited during self refresh.
+func (ch *Channel) SetChecker(t *checker.RefreshTracker) { ch.chk = t }
 
 // record notes an issued command when an auditor or observer is
 // attached.
@@ -250,14 +260,21 @@ func (ch *Channel) AdvanceTo(cycle uint64) {
 		eff := uint64(ch.cfg.Timing.TREFI) << ch.dividerBits
 		ch.stats.NSelfRefreshPulses += delta / eff
 		ch.srPulses.Add(delta / eff)
+		ch.chk.OnAdvance(ch.now, delta, true, delta/eff)
+		ch.now = cycle
+		return
 	case StatePASR:
 		ch.stats.CyclesPASR += delta
 		eff := uint64(ch.cfg.Timing.TREFI) << ch.dividerBits
 		ch.stats.NSelfRefreshPulses += delta / eff
 		ch.srPulses.Add(delta / eff)
+		ch.chk.OnAdvance(ch.now, delta, true, delta/eff)
+		ch.now = cycle
+		return
 	case StateDeepPowerDown:
 		ch.stats.CyclesDPD += delta
 	}
+	ch.chk.OnAdvance(ch.now, delta, false, 0)
 	ch.now = cycle
 }
 

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/checker"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -40,6 +41,10 @@ type Options struct {
 	// locked, so parallel runs may share it; nil (the default) keeps
 	// telemetry off.
 	Obs *obs.Recorder
+	// Check, when non-nil, attaches run-time invariant checkers
+	// (internal/checker) to every simulation. The suite is locked, so
+	// parallel runs share it; nil (the default) keeps checking off.
+	Check *checker.Suite
 }
 
 // DefaultOptions returns the harness defaults.
@@ -85,6 +90,7 @@ func (o Options) simConfig(k sim.SchemeKind) sim.Config {
 		cfg.MECC.SMDWindowCycles = 1
 	}
 	cfg.Obs = o.Obs
+	cfg.Check = o.Check
 	return cfg
 }
 

@@ -1,0 +1,273 @@
+package golden
+
+import (
+	"fmt"
+
+	"repro/internal/bch"
+	"repro/internal/gf2"
+	"repro/internal/line"
+)
+
+// RefBCH is a naive t-error-correcting binary BCH code for line.Bits
+// data bits, constructed independently of internal/bch from the same
+// first principles: the smallest GF(2^m) with room for data and parity,
+// and a generator polynomial that is the LCM of the minimal polynomials
+// of alpha^1..alpha^2t. Encoding is literal polynomial division;
+// decoding is the textbook syndrome / Berlekamp–Massey / Chien pipeline
+// with per-bit field arithmetic and no precomputed tables.
+//
+// The decision points of Decode — all-zero syndromes, the
+// extension-bit-only single error, locator degree > t, missing Chien
+// roots, the extended-parity consistency check, and the post-correction
+// syndrome recheck — mirror the optimized decoder's contract exactly,
+// so the differential driver can require bit-identical (data, Result)
+// agreement on every input, not just on correctable ones.
+type RefBCH struct {
+	field      *gf2.Field
+	t          int
+	n          int // natural code length 2^m - 1
+	parityBits int // deg(g), excluding the extension bit
+	extended   bool
+	gen        gf2.Poly2
+}
+
+// NewRefBCH constructs the reference code.
+func NewRefBCH(t int, extended bool) (*RefBCH, error) {
+	if t < 1 || t > bch.MaxT {
+		return nil, fmt.Errorf("%w: t=%d", bch.ErrBadT, t)
+	}
+	m := 0
+	for cand := 4; cand <= 16; cand++ {
+		if line.Bits+cand*t <= (1<<cand)-1 {
+			m = cand
+			break
+		}
+	}
+	if m == 0 {
+		return nil, bch.ErrNoField
+	}
+	f, err := gf2.NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	polys := make([]gf2.Poly2, 0, t)
+	for i := 1; i <= 2*t; i += 2 {
+		polys = append(polys, f.MinimalPoly(i))
+	}
+	gen := gf2.LCM2(polys...)
+	return &RefBCH{
+		field:      f,
+		t:          t,
+		n:          f.Order(),
+		parityBits: gen.Degree(),
+		extended:   extended,
+		gen:        gen,
+	}, nil
+}
+
+// T returns the correction capability.
+func (r *RefBCH) T() int { return r.t }
+
+// Extended reports whether the code carries an overall parity bit.
+func (r *RefBCH) Extended() bool { return r.extended }
+
+// Generator returns the generator polynomial g(x).
+func (r *RefBCH) Generator() gf2.Poly2 { return r.gen }
+
+// ParityBits returns the total parity width, including the extension
+// bit when the code is extended.
+func (r *RefBCH) ParityBits() int {
+	if r.extended {
+		return r.parityBits + 1
+	}
+	return r.parityBits
+}
+
+// Encode computes the parity of a line by polynomial division: the data
+// polynomial D(x) (data bit i at exponent parityBits+i) is reduced
+// modulo g(x), and the remainder is the parity. When extended, the
+// overall parity over data and base parity occupies bit parityBits.
+func (r *RefBCH) Encode(data line.Line) uint64 {
+	// D(x) * x^parityBits is the line's bit vector shifted up by deg(g).
+	msg := gf2.Poly2(data[:]).Shift(r.parityBits)
+	var parity uint64
+	if msg != nil { // the all-zero line divides exactly
+		rem, err := msg.Mod(r.gen)
+		if err != nil {
+			// Unreachable: g(x) is never zero.
+			panic(err)
+		}
+		if len(rem) > 0 {
+			parity = rem[0] // deg(g) <= 60 bits always fit the first word
+		}
+	}
+	if r.extended {
+		ones := data.PopCount() + popcount64(parity)
+		parity |= uint64(ones&1) << r.parityBits
+	}
+	return parity
+}
+
+func popcount64(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// syndromes evaluates S_1..S_2t of the received word with per-bit field
+// arithmetic: S_j = sum over set bits of alpha^(j*e), where data bit i
+// sits at codeword exponent parityBits+i and parity bit k at exponent k.
+func (r *RefBCH) syndromes(data line.Line, parity uint64) []uint16 {
+	f := r.field
+	synd := make([]uint16, 2*r.t)
+	for j := 1; j <= 2*r.t; j++ {
+		var acc uint16
+		for i := 0; i < line.Bits; i++ {
+			if data.Bit(i) == 1 {
+				acc = f.Add(acc, f.Alpha(j*(r.parityBits+i)))
+			}
+		}
+		for k := 0; k < r.parityBits; k++ {
+			if parity>>uint(k)&1 == 1 {
+				acc = f.Add(acc, f.Alpha(j*k))
+			}
+		}
+		synd[j-1] = acc
+	}
+	return synd
+}
+
+// berlekampMassey runs the textbook iteration over slices, returning the
+// locator coefficients (lambda[0] == 1) or ok=false when the implied
+// error count exceeds t.
+func (r *RefBCH) berlekampMassey(synd []uint16) ([]uint16, bool) {
+	f := r.field
+	nSyn := len(synd)
+	lambda := make([]uint16, nSyn+1)
+	prev := make([]uint16, nSyn+1)
+	lambda[0], prev[0] = 1, 1
+	l, m := 0, 1
+	b := uint16(1)
+	for rr := 0; rr < nSyn; rr++ {
+		d := synd[rr]
+		for i := 1; i <= l; i++ {
+			d = f.Add(d, f.Mul(lambda[i], synd[rr-i]))
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef, err := f.Div(d, b)
+		if err != nil {
+			return nil, false
+		}
+		if 2*l <= rr {
+			tmp := append([]uint16(nil), lambda...)
+			for i := 0; i+m < len(lambda); i++ {
+				lambda[i+m] = f.Add(lambda[i+m], f.Mul(coef, prev[i]))
+			}
+			l = rr + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			for i := 0; i+m < len(lambda); i++ {
+				lambda[i+m] = f.Add(lambda[i+m], f.Mul(coef, prev[i]))
+			}
+			m++
+		}
+	}
+	if l > r.t {
+		return nil, false
+	}
+	return lambda[:l+1], true
+}
+
+// chienSearch finds error positions by evaluating the locator at every
+// candidate point with Horner's rule: position i is in error when
+// Lambda(alpha^-i) == 0. It returns ok=false unless deg(Lambda) distinct
+// roots fall inside the shortened length.
+func (r *RefBCH) chienSearch(lambda []uint16) ([]int, bool) {
+	f := r.field
+	degL := len(lambda) - 1
+	if degL == 0 {
+		return nil, false
+	}
+	length := r.parityBits + line.Bits
+	var positions []int
+	for i := 0; i < length; i++ {
+		x := f.Alpha((r.n - i) % r.n) // alpha^-i
+		if f.Eval(lambda, x) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	return positions, len(positions) == degL
+}
+
+// Decode checks and repairs a received (data, parity) pair, mirroring
+// the optimized decoder's observable contract (see the type comment).
+func (r *RefBCH) Decode(data line.Line, parity uint64) (line.Line, bch.Result) {
+	deg := r.parityBits
+	extBit := uint64(0)
+	if r.extended {
+		extBit = (parity >> deg) & 1
+		parity &= (uint64(1) << deg) - 1
+	}
+
+	synd := r.syndromes(data, parity)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	extOK := true
+	if r.extended {
+		ones := data.PopCount() + popcount64(parity)
+		extOK = uint64(ones&1) == extBit
+	}
+	if allZero {
+		if !extOK {
+			return data, bch.Result{CorrectedBits: 1}
+		}
+		return data, bch.Result{}
+	}
+
+	lambda, ok := r.berlekampMassey(synd)
+	if !ok {
+		return data, bch.Result{Uncorrectable: true}
+	}
+	positions, ok := r.chienSearch(lambda)
+	if !ok {
+		return data, bch.Result{Uncorrectable: true}
+	}
+	if r.extended {
+		errParity := uint64(len(positions)) & 1
+		wantParity := uint64(0)
+		if !extOK {
+			wantParity = 1
+		}
+		if errParity != wantParity {
+			return data, bch.Result{Uncorrectable: true}
+		}
+	}
+
+	corrected := data
+	fixedParity := parity
+	for _, pos := range positions {
+		if pos >= deg {
+			corrected = corrected.FlipBit(pos - deg)
+		} else {
+			fixedParity ^= uint64(1) << pos
+		}
+	}
+	for _, s := range r.syndromes(corrected, fixedParity) {
+		if s != 0 {
+			return data, bch.Result{Uncorrectable: true}
+		}
+	}
+	return corrected, bch.Result{CorrectedBits: len(positions)}
+}

@@ -1,0 +1,79 @@
+package golden
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bch"
+	"repro/internal/line"
+)
+
+// mutantBCH wraps a correct codec and plants one of several deliberate
+// bugs, standing in for the kind of regression an aggressive rewrite of
+// internal/bch could introduce. Each mutant must be caught by DiffBCH —
+// if one survives, the differential harness has a blind spot.
+type mutantBCH struct {
+	BCHCodec
+	kind string
+}
+
+func (m *mutantBCH) Decode(data line.Line, parity uint64) (line.Line, bch.Result) {
+	fixed, res := m.BCHCodec.Decode(data, parity)
+	switch m.kind {
+	case "swallow-uncorrectable":
+		// Report detected-uncorrectable words as clean.
+		if res.Uncorrectable {
+			return data, bch.Result{}
+		}
+	case "off-by-one-count":
+		// Miscount multi-bit corrections.
+		if res.CorrectedBits > 1 {
+			res.CorrectedBits--
+		}
+	case "skip-last-flip":
+		// Correct all but the highest error position (silent corruption).
+		if res.CorrectedBits > 0 && !res.Uncorrectable {
+			if diff := data.Diff(fixed); len(diff) > 0 {
+				fixed = fixed.FlipBit(diff[len(diff)-1])
+			}
+		}
+	case "ignore-extension-bit":
+		// Treat the codeword as unextended: re-decode with the extension
+		// bit forced to the recomputed value, losing t+1 detection.
+		if res.Uncorrectable {
+			clean := m.BCHCodec.Encode(data)
+			if fixed2, res2 := m.BCHCodec.Decode(data, parity&^(1<<uint(m.ParityBits()-1))|clean&(1<<uint(m.ParityBits()-1))); !res2.Uncorrectable {
+				return fixed2, res2
+			}
+		}
+	}
+	return fixed, res
+}
+
+// TestHarnessCatchesPlantedMutants runs each mutant through the same
+// corpus the real differential test uses and requires at least one
+// mismatch per mutant.
+func TestHarnessCatchesPlantedMutants(t *testing.T) {
+	opt, ref := newPair(t, 6, true)
+	rng := rand.New(rand.NewSource(99))
+	cases := BCHCorpus(opt, rng, 60)
+
+	// Sanity: the unmutated codec passes.
+	if bad := DiffBCH(opt, ref, cases); len(bad) != 0 {
+		t.Fatalf("clean codec disagrees with reference: %s", bad[0])
+	}
+
+	for _, kind := range []string{
+		"swallow-uncorrectable",
+		"off-by-one-count",
+		"skip-last-flip",
+		"ignore-extension-bit",
+	} {
+		mut := &mutantBCH{BCHCodec: opt, kind: kind}
+		if bad := DiffBCH(mut, ref, cases); len(bad) == 0 {
+			t.Errorf("mutant %q survived the differential harness", kind)
+		} else {
+			t.Logf("mutant %q caught: %d mismatches, e.g. %s", kind, len(bad), bad[0].Case.Name)
+		}
+	}
+}

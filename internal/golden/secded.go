@@ -1,0 +1,156 @@
+package golden
+
+import (
+	"fmt"
+
+	"repro/internal/hamming"
+)
+
+// RefSECDED is a brute-force reference for the extended Hamming SECDED
+// codes in internal/hamming. The codeword is laid out in the classical
+// truth-table form — positions 1..n with check bits at the powers of
+// two, each check bit j covering every position whose binary index has
+// bit j set — plus one overall parity bit. Encoding evaluates those
+// coverage equations literally; decoding searches exhaustively for the
+// unique codeword within Hamming distance one of the received word,
+// with no syndrome shortcuts.
+type RefSECDED struct {
+	dataBits  int
+	checkBits int // Hamming check bits, excluding the overall parity bit
+	n         int // codeword length without the parity bit
+}
+
+// NewRefSECDED constructs the reference code over dataBits data bits.
+func NewRefSECDED(dataBits int) (*RefSECDED, error) {
+	if dataBits < 1 || dataBits > 4096 {
+		return nil, fmt.Errorf("%w: %d", hamming.ErrBadDataBits, dataBits)
+	}
+	r := 2
+	for (1<<r)-r-1 < dataBits {
+		r++
+	}
+	return &RefSECDED{dataBits: dataBits, checkBits: r, n: dataBits + r}, nil
+}
+
+// DataBits returns the number of protected data bits.
+func (s *RefSECDED) DataBits() int { return s.dataBits }
+
+// CheckBits returns the total stored check width, including the overall
+// parity bit.
+func (s *RefSECDED) CheckBits() int { return s.checkBits + 1 }
+
+func (s *RefSECDED) wordsNeeded() int { return (s.dataBits + 63) / 64 }
+
+func getBit(v []uint64, i int) uint64 { return (v[i>>6] >> (uint(i) & 63)) & 1 }
+func flipBit(v []uint64, i int)       { v[i>>6] ^= 1 << (uint(i) & 63) }
+func setBit(v []uint64, i int, b uint64) {
+	v[i>>6] = v[i>>6]&^(1<<(uint(i)&63)) | b<<(uint(i)&63)
+}
+
+// codeword lays the received word out by position: index p (1-based)
+// holds either a data bit (non-power-of-two positions, in order) or a
+// stored check bit (position 2^j holds check bit j). Index 0 is unused;
+// index n+1 holds the overall parity bit.
+func (s *RefSECDED) codeword(data []uint64, check uint64) []uint64 {
+	w := make([]uint64, (s.n+2+63)/64)
+	di := 0
+	for p := 1; p <= s.n; p++ {
+		if p&(p-1) == 0 { // power of two: check-bit position
+			j := 0
+			for 1<<j != p {
+				j++
+			}
+			setBit(w, p, check>>uint(j)&1)
+			continue
+		}
+		setBit(w, p, getBit(data, di))
+		di++
+	}
+	setBit(w, s.n+1, check>>uint(s.checkBits)&1)
+	return w
+}
+
+// consistent recomputes every check equation and the overall parity of
+// a laid-out codeword from scratch.
+func (s *RefSECDED) consistent(w []uint64) bool {
+	for j := 0; 1<<j <= s.n; j++ {
+		var sum uint64
+		for p := 1; p <= s.n; p++ {
+			if p>>uint(j)&1 == 1 {
+				sum ^= getBit(w, p)
+			}
+		}
+		if sum != 0 {
+			return false
+		}
+	}
+	var parity uint64
+	for p := 1; p <= s.n+1; p++ {
+		parity ^= getBit(w, p)
+	}
+	return parity == 0
+}
+
+// Encode computes the check word for data (ceil(dataBits/64)
+// little-endian words), in the same layout as hamming.SECDED: bits
+// [0,checkBits) are the Hamming check bits, bit checkBits the overall
+// parity.
+func (s *RefSECDED) Encode(data []uint64) (uint64, error) {
+	if len(data) != s.wordsNeeded() {
+		return 0, fmt.Errorf("%w: got %d, want %d", hamming.ErrBadInput, len(data), s.wordsNeeded())
+	}
+	var check uint64
+	// Solve each check equation for the check bit it owns: check bit j
+	// at position 2^j is the XOR of the other covered positions.
+	w := s.codeword(data, 0)
+	for j := 0; 1<<j <= s.n; j++ {
+		var sum uint64
+		for p := 1; p <= s.n; p++ {
+			if p>>uint(j)&1 == 1 && p != 1<<j {
+				sum ^= getBit(w, p)
+			}
+		}
+		check |= sum << uint(j)
+	}
+	// Overall parity covers data and check bits.
+	w = s.codeword(data, check)
+	var parity uint64
+	for p := 1; p <= s.n; p++ {
+		parity ^= getBit(w, p)
+	}
+	return check | parity<<uint(s.checkBits), nil
+}
+
+// Decode verifies data against the stored check word by exhaustive
+// search: if the received word is a codeword it is clean; otherwise the
+// unique single-bit flip (over all codeword positions and the overall
+// parity bit) that restores consistency identifies the error; if no
+// such flip exists the word is uncorrectable. Single data-bit errors
+// are repaired in place, matching hamming.SECDED.Decode.
+func (s *RefSECDED) Decode(data []uint64, check uint64) (hamming.Result, error) {
+	if len(data) != s.wordsNeeded() {
+		return hamming.Result{}, fmt.Errorf("%w: got %d, want %d", hamming.ErrBadInput, len(data), s.wordsNeeded())
+	}
+	w := s.codeword(data, check)
+	if s.consistent(w) {
+		return hamming.Result{}, nil
+	}
+	for p := 1; p <= s.n+1; p++ {
+		flipBit(w, p)
+		if s.consistent(w) {
+			// Map the repaired position back to a data index, if it is one.
+			if p <= s.n && p&(p-1) != 0 {
+				di := 0
+				for q := 1; q < p; q++ {
+					if q&(q-1) != 0 {
+						di++
+					}
+				}
+				flipBit(data, di)
+			}
+			return hamming.Result{CorrectedBits: 1}, nil
+		}
+		flipBit(w, p)
+	}
+	return hamming.Result{Uncorrectable: true}, nil
+}

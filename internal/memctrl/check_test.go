@@ -1,0 +1,119 @@
+package memctrl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+)
+
+// TestShiftDownResyncsSchedule is the regression test for a schedule bug
+// the invariant checkers uncovered: after SMD reverted slow refresh
+// (shift 4) to the JEDEC rate, nextRefreshAt was still the slot scheduled
+// under the 16x interval, so the fast span started up to 16 intervals
+// late — a permanent deficit beyond the postponement tolerance.
+func TestShiftDownResyncsSchedule(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	trefi := uint64(h.ch.Config().Timing.TREFI)
+	s := checker.NewSuite()
+	rt := checker.NewRefreshTracker(s, trefi, h.ch.Config().TotalBanks(), false,
+		DefaultConfig().MaxPostponedRefresh, true)
+	h.ctl.SetChecker(rt)
+	h.ch.SetChecker(rt)
+
+	// Run a slow-refresh stretch so the next slot sits far in the future.
+	h.ctl.SetRefreshShift(4)
+	h.run(int(trefi * 20))
+	slow := h.ctl.Stats().RefreshesIssued
+	if slow == 0 {
+		t.Fatal("no refreshes at shift 4")
+	}
+
+	// Reverting to shift 0 must pull the pending slot in: within a little
+	// over one tREFI the next refresh issues at the fast rate.
+	h.ctl.SetRefreshShift(0)
+	h.run(int(trefi * 2))
+	if h.ctl.Stats().RefreshesIssued <= slow {
+		t.Errorf("no refresh within 2x tREFI of reverting to shift 0 (issued %d)", slow)
+	}
+
+	// And both the slow span and a full fast span must satisfy the
+	// refresh-ratio invariant.
+	h.run(int(trefi * 100))
+	rt.Finish(h.ch.Now())
+	for _, v := range s.Violations() {
+		t.Errorf("violation after shift revert: %s", v)
+	}
+}
+
+// TestPerBankFirstSlotNotDeferred is the regression test for the third
+// bug the checkers found: the constructor scheduled the first refresh a
+// full tREFI out even under REFpb, where the effective interval is
+// tREFI/banks. The (banks-1) slots lost at startup plus the postponement
+// allowance put whole runs past the refresh-ratio tolerance.
+func TestPerBankFirstSlotNotDeferred(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerBankRefresh = true
+	h := newHarness(t, cfg)
+	trefi := uint64(h.ch.Config().Timing.TREFI)
+	banks := h.ch.Config().TotalBanks()
+
+	s := checker.NewSuite()
+	rt := checker.NewRefreshTracker(s, trefi, banks, true,
+		cfg.MaxPostponedRefresh, true)
+	h.ctl.SetChecker(rt)
+	h.ch.SetChecker(rt)
+
+	// The first per-bank refresh must land within one tREFI/banks slot,
+	// and an idle stretch must satisfy the ratio invariant from cycle 0.
+	h.run(int(trefi * 50))
+	rt.Finish(h.ch.Now())
+	issued := h.ctl.Stats().RefreshesIssued
+	if want := uint64(50 * banks); issued < want-uint64(cfg.MaxPostponedRefresh)-2 {
+		t.Errorf("issued %d per-bank refreshes over 50 tREFI, want about %d", issued, want)
+	}
+	for _, v := range s.Violations() {
+		t.Errorf("violation in per-bank run from cycle 0: %s", v)
+	}
+}
+
+// TestInjectedDropsSkipDeviceButAdvanceSchedule pins the drop-fault
+// semantics at the controller level: the schedule moves on, the stat
+// counts the drop, no REF reaches the device, and the checker (not told
+// about drops) reports the deficit.
+func TestInjectedDropsSkipDeviceButAdvanceSchedule(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	trefi := uint64(h.ch.Config().Timing.TREFI)
+
+	s := checker.NewSuite()
+	rt := checker.NewRefreshTracker(s, trefi, h.ch.Config().TotalBanks(), false,
+		DefaultConfig().MaxPostponedRefresh, true)
+	h.ctl.SetChecker(rt)
+	h.ch.SetChecker(rt)
+
+	plan := &checker.FaultPlan{}
+	for seq := uint64(0); seq < 20; seq++ {
+		plan.Faults = append(plan.Faults, checker.Fault{Kind: checker.DropRefresh, Seq: seq})
+	}
+	h.ctl.SetRefreshFaults(plan.RefreshFaults())
+
+	h.run(int(trefi * 40))
+	rt.Finish(h.ch.Now())
+
+	st := h.ctl.Stats()
+	if st.RefreshesDropped != 20 {
+		t.Errorf("RefreshesDropped = %d, want 20", st.RefreshesDropped)
+	}
+	if got := h.ch.Stats().NREF; got != st.RefreshesIssued {
+		t.Errorf("device saw %d REFs, controller issued %d", got, st.RefreshesIssued)
+	}
+	var found bool
+	for _, v := range s.Violations() {
+		if v.Invariant == "refresh-ratio" && strings.Contains(v.Detail, "issued") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("20 drops beyond tolerance went undetected; violations: %v", s.Violations())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/checker"
 	"repro/internal/dram"
 	"repro/internal/obs"
 )
@@ -139,6 +140,8 @@ type Stats struct {
 	TotalReadLatency uint64 `json:"total_read_latency"`
 	// RefreshesIssued counts REF commands (also visible in dram.Stats).
 	RefreshesIssued uint64 `json:"refreshes_issued"`
+	// RefreshesDropped counts refreshes swallowed by injected faults.
+	RefreshesDropped uint64 `json:"refreshes_dropped,omitempty"`
 	// PowerDownEntries counts PDE transitions.
 	PowerDownEntries uint64 `json:"power_down_entries"`
 	// WriteDrains counts drain-mode activations.
@@ -194,6 +197,11 @@ type Controller struct {
 	onReadDone func(*Request)
 	stats      Stats
 
+	// Invariant checker and fault injection (nil-safe when detached).
+	chk        *checker.RefreshTracker
+	faults     *checker.RefreshFaults
+	refreshSeq uint64
+
 	// Telemetry (nil-safe no-ops when detached).
 	obs        *obs.Recorder
 	cReads     *obs.Counter
@@ -218,7 +226,10 @@ func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, 
 		writeQ:     make([]*Request, 0, cfg.WriteQueueCap),
 		onReadDone: onReadDone,
 	}
-	c.nextRefreshAt = uint64(ch.Config().Timing.TREFI)
+	// First slot is one effective interval out: tREFI/banks under REFpb,
+	// not a full tREFI — otherwise per-bank mode starts (banks-1) slots
+	// behind and never recovers the deficit.
+	c.nextRefreshAt = c.refreshInterval()
 	return c, nil
 }
 
@@ -242,6 +253,18 @@ func (c *Controller) SetObserver(r *obs.Recorder) {
 	c.gShift = r.Gauge("memctrl_refresh_shift_bits")
 }
 
+// SetChecker attaches a refresh-accounting tracker (nil detaches). The
+// tracker is told about every issued refresh and every rate change so it
+// can compare issue counts against the configured period.
+func (c *Controller) SetChecker(t *checker.RefreshTracker) { c.chk = t }
+
+// SetRefreshFaults attaches an injected refresh-fault schedule (nil
+// detaches): due refreshes may be silently dropped or postponed at the
+// scheduled issue sequence numbers. Dropped refreshes are deliberately
+// NOT reported to the checker, so a sufficient burst of drops trips the
+// refresh-ratio invariant.
+func (c *Controller) SetRefreshFaults(f *checker.RefreshFaults) { c.faults = f }
+
 // SetRefreshShift divides the auto-refresh rate by 2^shift — the MECC
 // refresh-rate modulation applied during active mode when SMD keeps the
 // memory fully ECC-6 protected (refresh interval tREFI << shift).
@@ -249,13 +272,56 @@ func (c *Controller) SetRefreshShift(shift int) {
 	if shift < 0 {
 		shift = 0
 	}
-	if shift != c.refreshShift && c.obs != nil {
-		c.gShift.Set(float64(shift))
-		if c.obs.Tracing() {
-			c.obs.Emit(obs.Event{T: c.ch.Now(), Kind: obs.KindRefreshRate, Shift: shift})
+	if shift != c.refreshShift {
+		c.chk.OnShift(c.ch.Now(), shift)
+		if c.obs != nil {
+			c.gShift.Set(float64(shift))
+			if c.obs.Tracing() {
+				c.obs.Emit(obs.Event{T: c.ch.Now(), Kind: obs.KindRefreshRate, Shift: shift})
+			}
 		}
 	}
 	c.refreshShift = shift
+	// When the interval shrinks (e.g. SMD reverts slow refresh to the
+	// JEDEC rate), the pending slot was scheduled under the old, longer
+	// interval; pull it in so the new rate takes effect now rather than
+	// up to 2^oldShift intervals later.
+	if limit := c.ch.Now() + c.refreshInterval(); c.nextRefreshAt > limit {
+		c.nextRefreshAt = limit
+	}
+}
+
+// consumeRefreshFault consults the injected fault schedule for the
+// refresh about to issue. It returns true when the fault consumed the
+// refresh (drop), in which case the schedule already advanced.
+func (c *Controller) consumeRefreshFault() bool {
+	f, ok := c.faults.Next(c.refreshSeq)
+	if !ok {
+		return false
+	}
+	switch f.Kind {
+	case checker.DropRefresh:
+		// Swallow the refresh: the schedule moves on as if it issued,
+		// but no REF reaches the device and the checker is not told.
+		c.refreshSeq++
+		c.stats.RefreshesDropped++
+		c.nextRefreshAt += c.refreshInterval()
+		return true
+	case checker.DelayRefresh:
+		c.nextRefreshAt += f.DelayCycles
+		return true
+	}
+	return false
+}
+
+// ResyncRefresh restarts the distributed-refresh schedule from the
+// current cycle. The system layer calls this on self-refresh exit: the
+// device maintained the array itself while asleep, so the controller
+// must not "catch up" on intervals that elapsed during the idle period —
+// without the resync a multi-second idle is followed by a storm of
+// millions of back-to-back REF commands.
+func (c *Controller) ResyncRefresh() {
+	c.nextRefreshAt = c.ch.Now() + c.refreshInterval()
 }
 
 // refreshInterval returns the effective refresh interval in DRAM cycles:
@@ -437,6 +503,9 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 	if !c.refreshDue() {
 		return false
 	}
+	if c.faults != nil && c.consumeRefreshFault() {
+		return false
+	}
 	if c.cfg.PerBankRefresh {
 		return c.issuePerBankRefresh()
 	}
@@ -450,6 +519,8 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
+		c.refreshSeq++
+		c.chk.OnRefresh(c.ch.Now(), -1)
 		c.noteRefresh(-1)
 		c.nextRefreshAt += c.refreshInterval()
 		return true
@@ -486,6 +557,8 @@ func (c *Controller) issuePerBankRefresh() bool {
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
+		c.refreshSeq++
+		c.chk.OnRefresh(c.ch.Now(), bank)
 		c.noteRefresh(bank)
 		c.nextRefreshAt += c.refreshInterval()
 		c.refreshBank = (bank + 1) % c.ch.Config().TotalBanks()

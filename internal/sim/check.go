@@ -1,0 +1,63 @@
+package sim
+
+import "repro/internal/checker"
+
+// attachChecker wires run-time invariant trackers into every layer below
+// the runner when cfg.Check is set. A nil suite leaves all trackers nil,
+// which keeps the hot paths on their zero-allocation no-op branches and
+// leaves results bit-identical — the same contract as attachObserver.
+func (r *Runner) attachChecker() {
+	s := r.cfg.Check
+	if s == nil {
+		return
+	}
+	r.rchk = checker.NewRefreshTracker(s,
+		uint64(r.cfg.DRAM.Timing.TREFI),
+		r.cfg.DRAM.TotalBanks(),
+		r.cfg.Ctrl.PerBankRefresh,
+		r.cfg.Ctrl.MaxPostponedRefresh,
+		r.cfg.Ctrl.RefreshEnabled)
+	r.ctl.SetChecker(r.rchk)
+	r.ch.SetChecker(r.rchk)
+	if m := r.sch.mecc(); m != nil {
+		mc := r.cfg.MECC
+		m.SetChecker(checker.NewMECC(s, r.cfg.DRAM.TotalLines(),
+			mc.MDTEnabled, mc.MDTEntries, mc.SMDEnabled, mc.SMDThresholdMPKC))
+	}
+}
+
+// InjectRefreshFaults hands a deterministic refresh-fault schedule
+// (checker.FaultPlan.RefreshFaults) to the memory controller. Dropped
+// refreshes are deliberately not reported to the invariant tracker, so a
+// sufficiently long drop schedule must surface as a refresh-ratio
+// violation — the fault-injection tests assert exactly that.
+func (r *Runner) InjectRefreshFaults(f *checker.RefreshFaults) {
+	r.ctl.SetRefreshFaults(f)
+}
+
+// checkResult runs the end-of-run consistency checks against the suite:
+// energy components non-negative and summing to the reported total, total
+// energy monotone across successive Result calls, and DRAM state
+// residency accounting for every cycle exactly once. It also closes the
+// refresh tracker's open span.
+func (r *Runner) checkResult(res *Result) {
+	s := r.cfg.Check
+	if s == nil {
+		return
+	}
+	now := r.ch.Now()
+	r.rchk.Finish(now)
+	s.CheckNonNegative("background_j", now, res.Energy.BackgroundJ)
+	s.CheckNonNegative("act_pre_j", now, res.Energy.ActPreJ)
+	s.CheckNonNegative("read_j", now, res.Energy.ReadJ)
+	s.CheckNonNegative("write_j", now, res.Energy.WriteJ)
+	s.CheckNonNegative("refresh_j", now, res.Energy.RefreshJ)
+	s.CheckNonNegative("self_refresh_j", now, res.Energy.SelfRefreshJ)
+	s.CheckNonNegative("ecc_energy_j", now, res.ECCEnergyJ)
+	s.CheckSum("energy breakdown", now, res.Energy.Total(),
+		res.Energy.BackgroundJ, res.Energy.ActPreJ, res.Energy.ReadJ,
+		res.Energy.WriteJ, res.Energy.RefreshJ, res.Energy.SelfRefreshJ)
+	s.CheckMonotonic("total energy", now, r.lastEnergyJ, res.TotalEnergyJ())
+	r.lastEnergyJ = res.TotalEnergyJ()
+	s.CheckEqualU64("state residency vs clock", now, res.DRAM.TotalCycles(), now)
+}

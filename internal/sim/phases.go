@@ -89,6 +89,7 @@ func (r *Runner) GoIdle(duration time.Duration) error {
 			return err
 		}
 	}
+	r.rchk.ExpectDivider(tr.DividerBits)
 	if err := r.ch.EnterSelfRefresh(tr.DividerBits); err != nil {
 		return err
 	}
@@ -108,6 +109,13 @@ func (r *Runner) WakeUp() error {
 	if err := r.ch.ExitSelfRefresh(); err != nil {
 		return err
 	}
+	r.rchk.ExpectDivider(-1)
+	// The device refreshed itself during the idle period; restart the
+	// controller's distributed-refresh schedule from the current cycle.
+	// Without the resync every tREFI interval that elapsed while asleep
+	// would be "owed", and the controller would spend the whole next
+	// active phase issuing catch-up REF commands back to back.
+	r.ctl.ResyncRefresh()
 	// Re-align the CPU clock with the DRAM clock after the jump.
 	r.cpu.StallUntil(r.ch.Now() * r.ratio())
 	if err := r.sch.exitIdle(r.cpu.Now()); err != nil {

@@ -51,6 +51,29 @@ func (k SchemeKind) MarshalText() ([]byte, error) {
 	return []byte(k.String()), nil
 }
 
+// UnmarshalText parses either the paper's figure label ("ECC-6") or the
+// CLI spelling ("ecc6"), so marshaled results round-trip.
+func (k *SchemeKind) UnmarshalText(b []byte) error {
+	s := string(b)
+	switch s {
+	case "Baseline":
+		*k = SchemeBaseline
+	case "SECDED":
+		*k = SchemeSECDED
+	case "ECC-6":
+		*k = SchemeECC6
+	case "MECC":
+		*k = SchemeMECC
+	default:
+		parsed, err := ParseScheme(s)
+		if err != nil {
+			return err
+		}
+		*k = parsed
+	}
+	return nil
+}
+
 // ParseScheme maps a name to a SchemeKind.
 func ParseScheme(s string) (SchemeKind, error) {
 	switch s {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
@@ -50,6 +51,11 @@ type Config struct {
 	// keeps the hot paths on their zero-allocation no-op branches and
 	// leaves results bit-identical.
 	Obs *obs.Recorder
+	// Check, when non-nil, attaches run-time invariant checkers to every
+	// layer (internal/checker): refresh-ratio accounting, MECC shadow
+	// state, and energy/cycle consistency. Nil — the default — compiles
+	// the hooks to no-ops, preserving the zero-allocation decode path.
+	Check *checker.Suite
 }
 
 // DefaultConfig returns the paper's baseline system with the given
@@ -136,6 +142,10 @@ type Runner struct {
 	obs     *obs.Recorder
 	hDecode *obs.Histogram
 
+	// Invariant checking (nil-safe; see attachChecker).
+	rchk        *checker.RefreshTracker
+	lastEnergyJ float64
+
 	pendingWB []uint64
 	waitTag   uint64
 	waitDone  bool
@@ -207,6 +217,7 @@ func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.S
 		return nil, err
 	}
 	r.attachObserver()
+	r.attachChecker()
 	weak, err := ecc.NewLineSECDED()
 	if err != nil {
 		return nil, err
@@ -465,6 +476,7 @@ func (r *Runner) result(checkpoints []Checkpoint) Result {
 		res.ActivePowerW = res.TotalEnergyJ() / res.ActiveTimeSec
 	}
 	res.EDP = res.TotalEnergyJ() * res.ActiveTimeSec
+	r.checkResult(&res)
 	return res
 }
 

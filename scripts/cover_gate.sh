@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# cover_gate.sh — per-package coverage floors for the core simulation
+# packages. Run from the repo root (make cover-gate). Floors sit about
+# ten points under the measured numbers so the gate catches real
+# erosion, not noise; raise them as coverage grows, never lower them
+# to make a PR pass.
+#
+# When GITHUB_STEP_SUMMARY is set (GitHub Actions), a markdown table of
+# the per-package numbers is appended to the job summary.
+set -eu
+
+GO=${GO:-go}
+
+# "import-path floor" pairs.
+GATES='
+repro/internal/bch 85
+repro/internal/core 63
+repro/internal/sim 76
+'
+
+fail=0
+rows=''
+for pkg in $(printf '%s\n' "$GATES" | awk 'NF {print $1}'); do
+    floor=$(printf '%s\n' "$GATES" | awk -v p="$pkg" '$1 == p {print $2}')
+    line=$("$GO" test -cover "$pkg" | tail -n 1)
+    pct=$(printf '%s\n' "$line" | grep -o '[0-9.]*%' | head -n 1 | tr -d '%')
+    if [ -z "$pct" ]; then
+        echo "cover_gate: no coverage figure for $pkg: $line" >&2
+        exit 2
+    fi
+    ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN {print (p >= f) ? "ok" : "FAIL"}')
+    [ "$ok" = ok ] || fail=1
+    printf '%-24s %6s%%  (floor %s%%)  %s\n' "$pkg" "$pct" "$floor" "$ok"
+    rows="$rows| $pkg | ${pct}% | ${floor}% | $ok |
+"
+done
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo '### Coverage gate'
+        echo
+        echo '| package | coverage | floor | status |'
+        echo '|---|---|---|---|'
+        printf '%s' "$rows"
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo 'cover_gate: coverage fell below a floor' >&2
+    exit 1
+fi
