@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json vet fmt paperbench trace-demo fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json vet lint fmt paperbench trace-demo fuzz fuzz-short clean
+
+# Pinned staticcheck release for CI; `make lint` uses a local install
+# when one is on PATH and skips it (with a note) otherwise.
+STATICCHECK_VERSION ?= 2025.1.1
 
 all: build test
 
@@ -32,6 +36,19 @@ bench-json:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/meccvet: determinism, hotpath,
+# nilhook, cycleunits, nopanic, errwrap — see DESIGN.md) plus vet, plus
+# staticcheck when available. CI runs the same set with staticcheck
+# pinned at STATICCHECK_VERSION; any diagnostic fails the build.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/meccvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not on PATH; skipping (CI installs $(STATICCHECK_VERSION))"; \
+	fi
 
 fmt:
 	gofmt -l -w .

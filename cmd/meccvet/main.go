@@ -1,0 +1,79 @@
+// Command meccvet is the project's static-analysis multichecker: six
+// analyzers that pin the simulator's compile-time invariants —
+// deterministic replay, the zero-allocation hot path, nil-safe
+// telemetry hooks, unit-safe clock conversions, documented panics, and
+// sentinel-error wrapping. Run it over the module with
+//
+//	go run ./cmd/meccvet ./...
+//
+// (or `make lint`). It exits non-zero on any diagnostic; suppress an
+// individual finding with a `//meccvet:allow <analyzer> -- reason`
+// comment on or directly above the offending line. See DESIGN.md §9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run drives the multichecker; split from main so cmd tests can invoke
+// it in-process.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("meccvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	analyzers, err := analysis.Select(names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := analysis.Run(analysis.Roots(pkgs), analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "meccvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

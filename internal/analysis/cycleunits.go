@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cycleunitsScope lists the packages that juggle three clock domains
+// (CPU cycles, DRAM cycles, wall-clock time) as plain integers.
+var cycleunitsScope = []string{"sim", "dram", "memctrl", "core", "retention", "power", "multirate"}
+
+// Cycleunits confines conversions between time.Duration and raw
+// numerics to designated //meccvet:unitconv helper functions. A bare
+// time.Duration(x) reinterprets x as nanoseconds and a bare int64(d)
+// silently drops the unit — both have produced cycle/ns confusion bugs
+// in DRAM simulators; the conversion helpers (Config.TCK, the retention
+// power-law math) are the only places allowed to cross the boundary.
+var Cycleunits = &Analyzer{
+	Name: "cycleunits",
+	Doc: "conversions between time.Duration and raw numeric types must " +
+		"live in //meccvet:unitconv helper functions in the clock-domain " +
+		"packages (sim, dram, memctrl, core, retention, power, multirate)",
+	Run: runCycleunits,
+}
+
+func runCycleunits(pass *Pass) error {
+	if !anySegment(pass.PkgPath, cycleunitsScope) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		target, ok := pass.isConversion(call)
+		if !ok {
+			return true
+		}
+		argTV, ok := pass.Info.Types[call.Args[0]]
+		if !ok {
+			return true
+		}
+		toDuration := isDuration(target) && !isDuration(argTV.Type) && argTV.Value == nil
+		fromDuration := isDuration(argTV.Type) && !isDuration(target) && isRawNumeric(target)
+		if !toDuration && !fromDuration {
+			return true
+		}
+		if fd := enclosingFuncDecl(stack); fd != nil && hasDirective(fd.Doc, verbUnitconv) {
+			return true
+		}
+		if toDuration {
+			pass.Reportf(call.Pos(),
+				"time.Duration(%s) reinterprets a raw %s as nanoseconds; do this only in a //meccvet:unitconv helper",
+				types.ExprString(call.Args[0]), argTV.Type)
+		} else {
+			pass.Reportf(call.Pos(),
+				"%s(%s) drops the time unit; do this only in a //meccvet:unitconv helper",
+				target, types.ExprString(call.Args[0]))
+		}
+		return true
+	})
+	return nil
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool { return namedType(t, "time", "Duration") }
+
+// isRawNumeric reports whether t is a plain (unnamed) numeric basic
+// type — the unit-less destinations the analyzer polices.
+func isRawNumeric(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

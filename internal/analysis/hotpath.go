@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the allocation-free contract on functions annotated
+// //meccvet:hotpath (the fused BCH kernels, the batch sweep APIs): no
+// defer, no goroutine launch, no closures, no fmt/log/errors calls, no
+// make/new/&T{} construction, no fresh-slice append, no string<->[]byte
+// conversion, and no implicit interface boxing in call arguments. The
+// run-time ZeroAllocs guard tests measure the same contract on concrete
+// inputs; this analyzer pins it for every path through the source.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions marked //meccvet:hotpath may not contain " +
+		"allocation-inducing constructs (defer, go, closures, fmt, " +
+		"make/new, fresh-slice append, interface boxing)",
+	Run: runHotpath,
+}
+
+// allocPkgs are packages whose calls imply formatting or allocation.
+var allocPkgs = map[string]string{
+	"fmt":    "formats and allocates",
+	"log":    "formats and locks",
+	"errors": "allocates an error value",
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, verbHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s delays cleanup and costs a frame record", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path %s allocates a stack", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path %s may allocate its captures", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path %s escapes to the heap", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, name, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, fname string, stack []ast.Node) {
+	if t, ok := pass.isConversion(call); ok {
+		checkHotConversion(pass, call, t, fname)
+		return
+	}
+	obj := pass.calleeObject(call)
+	if obj != nil {
+		if b, ok := obj.(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path %s allocates", b.Name(), fname)
+			case "append":
+				checkHotAppend(pass, call, fname, stack)
+			}
+			return
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if why, bad := allocPkgs[fn.Pkg().Path()]; bad {
+				pass.Reportf(call.Pos(), "%s.%s in hot path %s %s", fn.Pkg().Name(), fn.Name(), fname, why)
+				return
+			}
+		}
+	}
+	checkBoxing(pass, call, fname)
+}
+
+// checkHotAppend flags appends that build a fresh slice (result bound
+// to a new variable or consumed as a bare expression). Growing a
+// caller-provided buffer in place (`buf = append(buf, ...)`) is the
+// sanctioned amortized pattern — see retention.FlipPositionsAppend.
+func checkHotAppend(pass *Pass, call *ast.CallExpr, fname string, stack []ast.Node) {
+	if len(stack) > 0 {
+		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok && as.Tok.String() == "=" {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "append into a fresh slice in hot path %s allocates; grow a reused buffer instead", fname)
+}
+
+func checkHotConversion(pass *Pass, call *ast.CallExpr, target types.Type, fname string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := pass.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(argT) {
+		pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes its operand", fname)
+		return
+	}
+	if isStringSlicePair(target, argT) || isStringSlicePair(argT, target) {
+		pass.Reportf(call.Pos(), "string/slice conversion in hot path %s copies and allocates", fname)
+	}
+}
+
+// isStringSlicePair reports a string type paired with a byte/rune slice.
+func isStringSlicePair(a, b types.Type) bool {
+	ab, ok := a.Underlying().(*types.Basic)
+	if !ok || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, ok := b.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune)
+}
+
+// checkBoxing flags call arguments whose concrete static type meets an
+// interface parameter: the compiler boxes the value, which on a hot
+// path is a hidden per-call allocation.
+func checkBoxing(pass *Pass, call *ast.CallExpr, fname string) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				// f(slice...) passes the slice through unboxed.
+				continue
+			}
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramT = sl.Elem()
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		default:
+			continue
+		}
+		argTV, ok := pass.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		if b, ok := argTV.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if types.IsInterface(paramT) && !types.IsInterface(argTV.Type) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter in hot path %s", fname)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nopanic requires every panic in library code (non-cmd, non-main,
+// non-test packages) to carry a leading `// invariant:` comment naming
+// the property whose violation makes the panic unreachable. Undocumented
+// panics are either reachable (and should return an error) or
+// unreviewed; the comment forces the author to state which invariant
+// makes the branch dead.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "panic in library packages must be documented with a leading " +
+		"`// invariant:` comment stating why it is unreachable",
+	Run: runNopanic,
+}
+
+func runNopanic(pass *Pass) error {
+	if pass.Pkg.Name() == "main" || pathSegment(pass.PkgPath, "cmd") {
+		return nil
+	}
+	invariantLines := invariantCommentLines(pass)
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		pos := pass.Fset.Position(call.Pos())
+		if !hasInvariantComment(invariantLines, pos.Filename, pos.Line) {
+			pass.Reportf(call.Pos(), "panic must be justified by a leading `// invariant:` comment")
+		}
+		return true
+	})
+	return nil
+}
+
+// invariantCommentLines maps filename to the set of lines holding an
+// `// invariant:` comment.
+func invariantCommentLines(pass *Pass) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(strings.ToLower(text), "invariant:") {
+					continue
+				}
+				pos := pass.Fset.Position(c.Slash)
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasInvariantComment accepts a justification on the panic's own line
+// (trailing) or within the three lines above it (leading comment, with
+// room for a continuation line).
+func hasInvariantComment(lines map[string]map[int]bool, file string, line int) bool {
+	fl := lines[file]
+	if fl == nil {
+		return false
+	}
+	for l := line - 3; l <= line; l++ {
+		if fl[l] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// Command tool is a nopanic fixture: cmd packages may panic freely
+// (they own the process and a crash is the right failure mode).
+package main
+
+func main() {
+	if len([]string{}) > 0 {
+		panic("unreachable in fixtures")
+	}
+}

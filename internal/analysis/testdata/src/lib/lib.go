@@ -1,0 +1,47 @@
+// Package lib is a nopanic-analyzer fixture: a library package where
+// every panic needs an `// invariant:` justification.
+package lib
+
+import "errors"
+
+// ErrOdd reports an odd input.
+var ErrOdd = errors.New("lib: odd input")
+
+// Undocumented panics are findings.
+func undocumented(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic must be justified by a leading`
+	}
+	return n
+}
+
+// Documented panics state the property making them unreachable.
+func documented(n int) int {
+	if n < 0 {
+		// invariant: callers validate n via Check before calling.
+		panic("negative")
+	}
+	return n
+}
+
+// trailing accepts the same-line form.
+func trailing(n int) int {
+	if n < 0 {
+		panic("negative") // invariant: n was clamped by the caller.
+	}
+	return n
+}
+
+// suppressed uses the generic escape hatch instead.
+func suppressed(n int) int {
+	if n < 0 {
+		panic("negative") //meccvet:allow nopanic -- test scaffolding
+	}
+	return n
+}
+
+// notBuiltin: a local function named panic is not the builtin.
+func notBuiltin() {
+	panic := func(string) {}
+	panic("fine")
+}

@@ -1,0 +1,77 @@
+// Package sim is a determinism-analyzer fixture: its directory name
+// places it in the analyzer's scope the same way internal/sim is.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Clock violations.
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// Global rand violations.
+
+func globalDraw() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global source`
+}
+
+func osEntropy(buf []byte) {
+	crand.Read(buf) // want `crypto/rand.Read is nondeterministic by design`
+}
+
+// Seeded construction is the sanctioned pattern.
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func seededDraw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// Map iteration.
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapSuppressed(m map[int]int) int {
+	sum := 0
+	//meccvet:allow determinism -- summation is order-insensitive
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func mapClear(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func sliceRangeFine(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,60 @@
+// Package wrap is an errwrap-analyzer fixture.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel in the style of stats.ErrEmpty.
+var ErrBad = errors.New("wrap: bad input")
+
+// stringified loses the chain.
+func stringified(n int) error {
+	return fmt.Errorf("%v: n=%d", ErrBad, n) // want `error stringified with %v loses the chain`
+}
+
+// quoted loses it just as thoroughly.
+func quoted(err error) error {
+	return fmt.Errorf("inner: %q", err) // want `error stringified with %q loses the chain`
+}
+
+// wrapped is the sanctioned form, including multiple %w.
+func wrapped(n int, cause error) error {
+	return fmt.Errorf("%w: n=%d: %w", ErrBad, n, cause)
+}
+
+// flattened turns the error into a bare string mid-format.
+func flattened(err error) string {
+	return fmt.Sprintf("failed: %s", err.Error()) // want `pass the error itself \(with %v or %w\), not err.Error\(\)`
+}
+
+// compared bypasses wrapped chains.
+func compared(err error) bool {
+	return err == ErrBad // want `comparing errors with == misses wrapped chains`
+}
+
+// comparedNe too.
+func comparedNe(err error) bool {
+	return err != ErrBad // want `comparing errors with != misses wrapped chains`
+}
+
+// nilCheck is not an error comparison.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// properIs matches through wrapping.
+func properIs(err error) bool {
+	return errors.Is(err, ErrBad)
+}
+
+// suppressed keeps an identity comparison with a reason.
+func suppressed(err error) bool {
+	return err == ErrBad //meccvet:allow errwrap -- sentinel is never wrapped, hot comparison
+}
+
+// nonLiteralFormat is skipped: the scanner cannot map verbs.
+func nonLiteralFormat(f string, err error) error {
+	return fmt.Errorf(f, err)
+}

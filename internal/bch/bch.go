@@ -226,6 +226,8 @@ func (c *Code) FieldM() int { return c.field.M() }
 // Encode computes the parity bits for a line. Parity occupies the low
 // ParityBits() bits of the returned word; when extended, the overall
 // parity bit is the highest of those bits.
+//
+//meccvet:hotpath
 func (c *Code) Encode(data line.Line) uint64 {
 	obsEncodes.Inc()
 	deg := c.parityBits
@@ -251,6 +253,8 @@ func (c *Code) Encode(data line.Line) uint64 {
 }
 
 // overallParity returns the XOR of all data and base-parity bits.
+//
+//meccvet:hotpath
 func (c *Code) overallParity(data line.Line, parity uint64) uint64 {
 	return uint64(data.PopCount()+bits.OnesCount64(parity)) & 1
 }
@@ -262,6 +266,8 @@ func (c *Code) overallParity(data line.Line, parity uint64) uint64 {
 // Decode performs no heap allocations: syndromes, the Berlekamp–Massey
 // locator and the Chien root list all live in fixed-size stack arrays
 // bounded by MaxT (guarded by TestDecodeZeroAllocs).
+//
+//meccvet:hotpath
 func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 	out, res := c.decode(data, parity)
 	noteDecode(res)
@@ -269,6 +275,8 @@ func (c *Code) Decode(data line.Line, parity uint64) (line.Line, Result) {
 }
 
 // decode is the telemetry-free correction pipeline behind Decode.
+//
+//meccvet:hotpath
 func (c *Code) decode(data line.Line, parity uint64) (line.Line, Result) {
 	deg := c.parityBits
 	extBit := uint64(0)
@@ -366,6 +374,8 @@ func (c *Code) syndromes(data line.Line, parity uint64) []uint16 {
 // parShift splices the halves: S_j = D(a^j)*a^(j*parityBits) + P(a^j).
 // Bits of parity at or above parityBits are ignored, matching the
 // bit-serial reference.
+//
+//meccvet:hotpath
 func (c *Code) syndromesInto(data *line.Line, parity uint64, out *[maxSyn]uint16) {
 	nSyn := 2 * c.t
 	parity &= (uint64(1) << c.parityBits) - 1
@@ -418,6 +428,8 @@ func (c *Code) syndromesBitwise(data line.Line, parity uint64) []uint16 {
 // returning its degree. It returns ok=false when the implied error count
 // exceeds t. All working state lives in fixed-size stack arrays bounded
 // by the maximum syndrome count, so the routine never allocates.
+//
+//meccvet:hotpath
 func (c *Code) berlekampMassey(synd []uint16, lambda *[maxSyn + 1]uint16) (int, bool) {
 	f := c.field
 	nSyn := len(synd)
@@ -477,6 +489,8 @@ func (c *Code) berlekampMassey(synd []uint16, lambda *[maxSyn + 1]uint16) (int, 
 // factor alpha^-1, so term k of the sum is updated by one multiply with
 // alpha^-k instead of re-running Horner, and the scan exits as soon as
 // deg(Lambda) roots are found.
+//
+//meccvet:hotpath
 func (c *Code) chienSearch(lambda []uint16, out *[MaxT]int) (int, bool) {
 	degL := len(lambda) - 1
 	if degL == 0 {

@@ -62,6 +62,8 @@ func (v Violation) String() string {
 // Suite collects violations from every attached tracker. All methods are
 // nil-safe and safe for concurrent use, so one suite can watch a whole
 // parallel exhibit run.
+//
+//meccvet:nilsafe
 type Suite struct {
 	mu         sync.Mutex
 	violations []Violation
@@ -113,6 +115,9 @@ func (s *Suite) Dropped() uint64 {
 // Err returns nil when no violation was recorded, else an error wrapping
 // ErrInvariant that lists the first few breaches. Nil-safe.
 func (s *Suite) Err() error {
+	if s == nil {
+		return nil
+	}
 	v := s.Violations()
 	if len(v) == 0 {
 		return nil

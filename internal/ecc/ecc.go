@@ -122,7 +122,7 @@ func (l *LineSECDED) Encode(data line.Line) uint64 {
 	buf := [8]uint64(data)
 	chk, err := l.code.Encode(buf[:])
 	if err != nil {
-		// Unreachable: the buffer length always matches.
+		// invariant: the buffer length always matches.
 		panic(err)
 	}
 	return chk
@@ -133,7 +133,7 @@ func (l *LineSECDED) Decode(data line.Line, check uint64) (line.Line, Result) {
 	buf := [8]uint64(data)
 	res, err := l.code.Decode(buf[:], check)
 	if err != nil {
-		// Unreachable: the buffer length always matches.
+		// invariant: the buffer length always matches.
 		panic(err)
 	}
 	return line.Line(buf), Result(res)

@@ -118,8 +118,11 @@ const minMorphablePerWorker = 32
 // Encode(data[i], mode). When the selected codec implements BatchCodec
 // its bulk encoder is used directly. It panics if the slice lengths
 // differ.
+//
+//meccvet:hotpath
 func (m *Morphable) EncodeBatch(data []line.Line, mode Mode, out []uint64) {
 	if len(data) != len(out) {
+		// invariant: callers pass parallel slices (documented contract).
 		panic("ecc: EncodeBatch slice lengths differ")
 	}
 	c := m.weak
@@ -135,6 +138,7 @@ func (m *Morphable) EncodeBatch(data []line.Line, mode Mode, out []uint64) {
 		}
 		return
 	}
+	//meccvet:allow hotpath -- one closure per batch call, amortized over the lines
 	batch.For(len(data), minMorphablePerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = modeField | c.Encode(data[i])<<ModeBits
@@ -146,10 +150,14 @@ func (m *Morphable) EncodeBatch(data []line.Line, mode Mode, out []uint64) {
 // into out[i] and evs[i], fanning the work out over up to GOMAXPROCS
 // workers. Per-line results are identical to Decode; out may alias data.
 // It panics if the slice lengths differ.
+//
+//meccvet:hotpath
 func (m *Morphable) DecodeBatch(data []line.Line, spare []uint64, out []line.Line, evs []DecodeEvent) {
 	if len(spare) != len(data) || len(out) != len(data) || len(evs) != len(data) {
+		// invariant: callers pass parallel slices (documented contract).
 		panic("ecc: DecodeBatch slice lengths differ")
 	}
+	//meccvet:allow hotpath -- one closure per batch call, amortized over the lines
 	batch.For(len(data), minMorphablePerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i], evs[i] = m.Decode(data[i], spare[i])

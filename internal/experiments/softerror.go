@@ -42,7 +42,7 @@ func AblationWeakCode(events int, seed int64) (WeakCodeResult, error) {
 	strongOf := func() ecc.Codec {
 		s, err := ecc.NewBCH(6, false)
 		if err != nil {
-			// Unreachable: ECC-6 always constructs.
+			// invariant: ECC-6 always constructs.
 			panic(err)
 		}
 		return s

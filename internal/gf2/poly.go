@@ -227,7 +227,7 @@ func (f *Field) MinimalPoly(i int) Poly2 {
 		if c == 1 {
 			out = out.SetCoeff(k, 1)
 		} else if c != 0 {
-			// Cannot happen for a well-formed minimal polynomial.
+			// invariant: a minimal polynomial over GF(2) has binary coefficients.
 			panic(fmt.Sprintf("gf2: minimal polynomial of alpha^%d has non-binary coefficient %d", i, c))
 		}
 	}
@@ -248,7 +248,7 @@ func LCM2(ps ...Poly2) Poly2 {
 		g := GCD2(acc, p)
 		q, _, err := acc.Mul(p).DivMod(g)
 		if err != nil {
-			// Unreachable: g divides acc*p and is nonzero.
+			// invariant: g divides acc*p and is nonzero.
 			panic(err)
 		}
 		acc = q
@@ -261,7 +261,7 @@ func GCD2(a, b Poly2) Poly2 {
 	for b.Degree() >= 0 {
 		_, r, err := a.DivMod(b)
 		if err != nil {
-			// Unreachable: loop condition guarantees b != 0.
+			// invariant: loop condition guarantees b != 0.
 			panic(err)
 		}
 		a, b = b, r

@@ -94,7 +94,7 @@ func (r *RefBCH) Encode(data line.Line) uint64 {
 	if msg != nil { // the all-zero line divides exactly
 		rem, err := msg.Mod(r.gen)
 		if err != nil {
-			// Unreachable: g(x) is never zero.
+			// invariant: g(x) is never zero.
 			panic(err)
 		}
 		if len(rem) > 0 {

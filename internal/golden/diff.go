@@ -193,7 +193,8 @@ type SECDEDCase struct {
 func SECDEDCorpus(dataBits int, rng *rand.Rand, nRandom int) []SECDEDCase {
 	ref, err := NewRefSECDED(dataBits)
 	if err != nil {
-		panic(err) // dataBits comes from the test table
+		// invariant: dataBits comes from the validated test table.
+		panic(err)
 	}
 	words := (dataBits + 63) / 64
 	checkW := ref.CheckBits()
@@ -211,6 +212,7 @@ func SECDEDCorpus(dataBits int, rng *rand.Rand, nRandom int) []SECDEDCase {
 			}
 			check, err := ref.Encode(data)
 			if err != nil {
+				// invariant: the reference encoder accepts every word-aligned input.
 				panic(err)
 			}
 			for _, pos := range rng.Perm(total)[:w] {
@@ -239,6 +241,7 @@ func SECDEDCorpus(dataBits int, rng *rand.Rand, nRandom int) []SECDEDCase {
 		}
 		check, err := ref.Encode(data)
 		if err != nil {
+			// invariant: the reference encoder accepts every word-aligned input.
 			panic(err)
 		}
 		cases = append(cases, SECDEDCase{

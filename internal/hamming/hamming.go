@@ -172,7 +172,7 @@ func NewWord72() (*Word72, error) {
 func (w *Word72) Encode(data uint64) uint8 {
 	chk, err := w.inner.Encode([]uint64{data})
 	if err != nil {
-		// Unreachable: the slice length always matches.
+		// invariant: the slice length always matches.
 		panic(err)
 	}
 	return uint8(chk)
@@ -183,7 +183,7 @@ func (w *Word72) Decode(data uint64, check uint8) (uint64, Result) {
 	buf := []uint64{data}
 	res, err := w.inner.Decode(buf, uint64(check))
 	if err != nil {
-		// Unreachable: the slice length always matches.
+		// invariant: the slice length always matches.
 		panic(err)
 	}
 	return buf[0], res

@@ -420,7 +420,7 @@ func (c *Controller) Step() {
 		if hasWork {
 			// Wake the rank; commands resume after tXP.
 			if err := c.ch.ExitPowerDown(); err != nil {
-				// Unreachable: state was checked.
+				// invariant: state was checked.
 				panic(err)
 			}
 		}
@@ -515,7 +515,7 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 	}
 	if c.ch.CanREF() {
 		if err := c.ch.REF(); err != nil {
-			// Unreachable: CanREF was checked.
+			// invariant: CanREF was checked.
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
@@ -529,7 +529,7 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 	for b := 0; b < c.ch.Config().TotalBanks(); b++ {
 		if c.ch.AnyRowOpen(b) && c.ch.CanPRE(b) {
 			if err := c.ch.PRE(b); err != nil {
-				// Unreachable: CanPRE was checked.
+				// invariant: CanPRE was checked.
 				panic(err)
 			}
 			return true
@@ -553,7 +553,7 @@ func (c *Controller) issuePerBankRefresh() bool {
 	}
 	if c.ch.CanREFpb(bank) {
 		if err := c.ch.REFpb(bank); err != nil {
-			// Unreachable: CanREFpb was checked.
+			// invariant: CanREFpb was checked.
 			panic(err)
 		}
 		c.stats.RefreshesIssued++
@@ -569,7 +569,7 @@ func (c *Controller) issuePerBankRefresh() bool {
 	}
 	if c.ch.AnyRowOpen(bank) && c.ch.CanPRE(bank) {
 		if err := c.ch.PRE(bank); err != nil {
-			// Unreachable: CanPRE was checked.
+			// invariant: CanPRE was checked.
 			panic(err)
 		}
 		return true
@@ -648,7 +648,7 @@ func (c *Controller) closeIdleRow() bool {
 			continue
 		}
 		if err := c.ch.PRE(b); err != nil {
-			// Unreachable: CanPRE was checked.
+			// invariant: CanPRE was checked.
 			panic(err)
 		}
 		return true
@@ -686,7 +686,7 @@ func (c *Controller) issueBest() {
 		if r.IsWrite {
 			if c.ch.CanWR(r.coord.Bank, r.coord.Row) {
 				if _, err := c.ch.WR(r.coord.Bank, r.coord.Row); err != nil {
-					// Unreachable: CanWR was checked.
+					// invariant: CanWR was checked.
 					panic(err)
 				}
 				c.ch.NoteRowHit(!r.missed)
@@ -696,7 +696,7 @@ func (c *Controller) issueBest() {
 		} else if c.ch.CanRD(r.coord.Bank, r.coord.Row) {
 			done, err := c.ch.RD(r.coord.Bank, r.coord.Row)
 			if err != nil {
-				// Unreachable: CanRD was checked.
+				// invariant: CanRD was checked.
 				panic(err)
 			}
 			c.ch.NoteRowHit(!r.missed)
@@ -721,7 +721,7 @@ func (c *Controller) issueBest() {
 		case !c.ch.AnyRowOpen(b):
 			if c.ch.CanACT(b) {
 				if err := c.ch.ACT(b, r.coord.Row); err != nil {
-					// Unreachable: CanACT was checked.
+					// invariant: CanACT was checked.
 					panic(err)
 				}
 				r.missed = true
@@ -733,7 +733,7 @@ func (c *Controller) issueBest() {
 			}
 			if c.ch.CanPRE(b) {
 				if err := c.ch.PRE(b); err != nil {
-					// Unreachable: CanPRE was checked.
+					// invariant: CanPRE was checked.
 					panic(err)
 				}
 				return

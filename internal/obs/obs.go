@@ -6,6 +6,8 @@ package obs
 // every method is a no-op and every metric handle it returns is a
 // nil no-op — so instrumented packages hold a possibly-nil *Recorder
 // and never branch on "is telemetry on" beyond a nil check.
+//
+//meccvet:nilsafe
 type Recorder struct {
 	reg     *Registry
 	log     *EventLog

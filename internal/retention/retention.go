@@ -54,7 +54,7 @@ func NewModel(p1 time.Duration, ber1 float64, p2 time.Duration, ber2 float64) (*
 func DefaultModel() *Model {
 	m, err := NewModel(JEDECPeriod, JEDECBitErrorRate, SlowPeriod, SlowBitErrorRate)
 	if err != nil {
-		// Unreachable: the constants satisfy the constructor's checks.
+		// invariant: the constants satisfy the constructor's checks.
 		panic(err)
 	}
 	return m
@@ -72,6 +72,8 @@ func (m *Model) BER(period time.Duration) float64 {
 
 // PeriodFor returns the largest refresh period whose BER does not exceed
 // the target.
+//
+//meccvet:unitconv
 func (m *Model) PeriodFor(targetBER float64) time.Duration {
 	if targetBER <= 0 {
 		return 0
@@ -97,6 +99,8 @@ const (
 // BERAtTemp returns the bit failure probability at a refresh period and
 // junction temperature: retention halving per RetentionHalvingC is
 // equivalent to the period looking 2^((temp-nominal)/10) times longer.
+//
+//meccvet:unitconv
 func (m *Model) BERAtTemp(period time.Duration, tempC float64) float64 {
 	factor := math.Pow(2, (tempC-NominalTempC)/RetentionHalvingC)
 	return m.BER(time.Duration(float64(period) * factor))
@@ -104,6 +108,8 @@ func (m *Model) BERAtTemp(period time.Duration, tempC float64) float64 {
 
 // PeriodForAtTemp returns the largest refresh period meeting a target
 // BER at the given temperature.
+//
+//meccvet:unitconv
 func (m *Model) PeriodForAtTemp(targetBER, tempC float64) time.Duration {
 	base := m.PeriodFor(targetBER)
 	factor := math.Pow(2, (tempC-NominalTempC)/RetentionHalvingC)
@@ -112,6 +118,8 @@ func (m *Model) PeriodForAtTemp(targetBER, tempC float64) time.Duration {
 
 // Curve samples the model at logarithmically spaced periods in [lo, hi],
 // for rendering Fig. 2. It returns parallel period and BER slices.
+//
+//meccvet:unitconv
 func (m *Model) Curve(lo, hi time.Duration, points int) ([]time.Duration, []float64) {
 	if points < 2 || hi <= lo {
 		return nil, nil
@@ -161,6 +169,8 @@ func (in *Injector) FlipPositions(nbits int) []int {
 // loops pass a reused buffer (sliced to length 0) so that injection
 // performs no allocations in the common no-failure case; the random
 // sequence drawn is identical to FlipPositions.
+//
+//meccvet:hotpath
 func (in *Injector) FlipPositionsAppend(nbits int, buf []int) []int {
 	if in.ber <= 0 {
 		return buf

@@ -203,3 +203,56 @@ func TestTemperatureDependence(t *testing.T) {
 		t.Errorf("period ratio per 10degC = %v, want 2", ratio)
 	}
 }
+
+// TestFailureMapReproducible is the regression test for seeded fault
+// injection: two independent runs with the same seeds must produce
+// bit-identical failure maps (line index -> failed bit positions),
+// including the VRT episode overlay and the buffer-reusing append path.
+// A run that consulted any ambient randomness — or depended on map
+// iteration order — would diverge here.
+func TestFailureMapReproducible(t *testing.T) {
+	const (
+		seed        = 42
+		lines       = 2000
+		bitsPerLine = 576
+		ber         = 2e-3
+		vrtCells    = 64
+	)
+	buildMap := func() map[uint64][]int {
+		inj := NewInjector(seed, ber)
+		vrt := NewVRTPopulation(seed+1, vrtCells, lines, bitsPerLine, 0.5)
+		failed := make(map[uint64][]int)
+		var buf []int
+		for li := uint64(0); li < lines; li++ {
+			buf = inj.FlipPositionsAppend(bitsPerLine, buf[:0])
+			if len(buf) > 0 {
+				failed[li] = append([]int(nil), buf...)
+			}
+		}
+		for _, c := range vrt.ActiveFailures() {
+			failed[c.LineIndex] = append(failed[c.LineIndex], c.Bit)
+		}
+		return failed
+	}
+	a, b := buildMap(), buildMap()
+	if len(a) != len(b) {
+		t.Fatalf("failure maps differ in size: %d vs %d lines", len(a), len(b))
+	}
+	for li, bitsA := range a {
+		bitsB, ok := b[li]
+		if !ok {
+			t.Fatalf("line %d failed in run A only", li)
+		}
+		if len(bitsA) != len(bitsB) {
+			t.Fatalf("line %d: %d vs %d failed bits", li, len(bitsA), len(bitsB))
+		}
+		for i := range bitsA {
+			if bitsA[i] != bitsB[i] {
+				t.Fatalf("line %d bit %d: %d vs %d", li, i, bitsA[i], bitsB[i])
+			}
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("expected some failures at this BER; map was empty")
+	}
+}

@@ -54,12 +54,9 @@ func (r *Runner) GoIdle(duration time.Duration) error {
 		return err
 	}
 	// The prefetch buffer does not survive the power transition.
-	for k := range r.prefReady {
-		delete(r.prefReady, k)
-	}
-	for k := range r.prefInflight {
-		delete(r.prefInflight, k)
-	}
+	clear(r.prefReady)
+	clear(r.prefInflight)
+	clear(r.prefInflightAddr)
 	r.prefFIFO = r.prefFIFO[:0]
 	// The scheme's idle transition (ECC-Upgrade for MECC).
 	tr, err := r.sch.enterIdle(r.cpu.Now())

@@ -24,7 +24,7 @@ func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
 	// Adopt an in-flight prefetch of the same line rather than fetching
 	// it twice: the prefetch's remaining latency is all we pay.
 	if tag, ok := r.prefetchInFlightFor(lineAddr); ok {
-		delete(r.prefInflight, tag)
+		r.dropInflight(tag)
 		r.prefHits++
 		r.waitTag = tag
 		r.waitDone = false
@@ -43,7 +43,7 @@ func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
 	r.waitTag = r.nextTag
 	r.waitDone = false
 	if err := r.ctl.EnqueueRead(lineAddr, r.waitTag); err != nil {
-		// Unreachable: space was ensured.
+		// invariant: space was ensured.
 		panic(err)
 	}
 	for !r.waitDone {

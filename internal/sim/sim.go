@@ -154,11 +154,15 @@ type Runner struct {
 	curShift  int
 
 	// Next-line prefetcher state: lines ready in the buffer, in-flight
-	// prefetch tags, and a FIFO for buffer eviction.
-	prefReady    map[uint64]bool
-	prefInflight map[uint64]uint64 // tag -> line address
-	prefFIFO     []uint64
-	prefHits     uint64
+	// prefetch tags, and a FIFO for buffer eviction. prefInflightAddr is
+	// the reverse index (address -> tag) so in-flight lookups never
+	// depend on map iteration order; addInflight/dropInflight keep the
+	// two maps in lockstep.
+	prefReady        map[uint64]bool
+	prefInflight     map[uint64]uint64 // tag -> line address
+	prefInflightAddr map[uint64]uint64 // line address -> tag
+	prefFIFO         []uint64
+	prefHits         uint64
 
 	// Phase-pattern state (phases.go).
 	idle           bool
@@ -192,11 +196,12 @@ func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.S
 		return nil, err
 	}
 	r := &Runner{
-		cfg:          cfg,
-		prof:         prof,
-		ch:           ch,
-		prefReady:    make(map[uint64]bool),
-		prefInflight: make(map[uint64]uint64),
+		cfg:              cfg,
+		prof:             prof,
+		ch:               ch,
+		prefReady:        make(map[uint64]bool),
+		prefInflight:     make(map[uint64]uint64),
+		prefInflightAddr: make(map[uint64]uint64),
 	}
 	r.ctl, err = memctrl.New(ch, cfg.Ctrl, r.onReadDone)
 	if err != nil {
@@ -270,7 +275,7 @@ func (r *Runner) onReadDone(req *memctrl.Request) {
 		return
 	}
 	if addr, ok := r.prefInflight[req.Tag]; ok {
-		delete(r.prefInflight, req.Tag)
+		r.dropInflight(req.Tag)
 		r.bufferPrefetch(addr)
 	}
 }
@@ -293,15 +298,25 @@ func (r *Runner) bufferPrefetch(addr uint64) {
 	r.prefFIFO = append(r.prefFIFO, addr)
 }
 
+// addInflight records an issued prefetch in both indexes.
+func (r *Runner) addInflight(tag, addr uint64) {
+	r.prefInflight[tag] = addr
+	r.prefInflightAddr[addr] = tag
+}
+
+// dropInflight retires a prefetch from both indexes.
+func (r *Runner) dropInflight(tag uint64) {
+	if addr, ok := r.prefInflight[tag]; ok {
+		delete(r.prefInflight, tag)
+		delete(r.prefInflightAddr, addr)
+	}
+}
+
 // prefetchInFlightFor finds the tag of an in-flight prefetch for the
 // address, if any.
 func (r *Runner) prefetchInFlightFor(addr uint64) (uint64, bool) {
-	for tag, a := range r.prefInflight {
-		if a == addr {
-			return tag, true
-		}
-	}
-	return 0, false
+	tag, ok := r.prefInflightAddr[addr]
+	return tag, ok
 }
 
 // maybePrefetch issues a background fetch of the line after a demand
@@ -314,18 +329,16 @@ func (r *Runner) maybePrefetch(demandAddr uint64) {
 	if r.prefReady[next] {
 		return
 	}
-	for _, a := range r.prefInflight {
-		if a == next {
-			return
-		}
+	if _, ok := r.prefInflightAddr[next]; ok {
+		return
 	}
 	if !r.ctl.CanEnqueueRead() {
 		return
 	}
 	r.nextTag++
-	r.prefInflight[r.nextTag] = next
+	r.addInflight(r.nextTag, next)
 	if err := r.ctl.EnqueueRead(next, r.nextTag); err != nil {
-		// Unreachable: CanEnqueueRead was checked.
+		// invariant: CanEnqueueRead was checked.
 		panic(err)
 	}
 }
@@ -340,7 +353,7 @@ func (r *Runner) stepDRAM() {
 		addr := r.pendingWB[len(r.pendingWB)-1]
 		r.pendingWB = r.pendingWB[:len(r.pendingWB)-1]
 		if err := r.ctl.EnqueueWrite(addr, 0); err != nil {
-			// Unreachable: CanEnqueueWrite was checked.
+			// invariant: CanEnqueueWrite was checked.
 			panic(err)
 		}
 	}
@@ -395,7 +408,7 @@ func (r *Runner) runLoop() error {
 				r.stepDRAM()
 			}
 			if err := r.ctl.EnqueueWrite(rec.LineAddr, 0); err != nil {
-				// Unreachable: space was ensured.
+				// invariant: space was ensured.
 				panic(err)
 			}
 			r.cpu.Execute(1)

@@ -125,7 +125,7 @@ func ReadText(r io.Reader) ([]Record, error) {
 		}
 		gap, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d gap: %v", ErrBadRecord, lineNo, err)
+			return nil, fmt.Errorf("%w: line %d gap: %w", ErrBadRecord, lineNo, err)
 		}
 		var op Op
 		switch fields[1] {
@@ -138,7 +138,7 @@ func ReadText(r io.Reader) ([]Record, error) {
 		}
 		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d addr: %v", ErrBadRecord, lineNo, err)
+			return nil, fmt.Errorf("%w: line %d addr: %w", ErrBadRecord, lineNo, err)
 		}
 		out = append(out, Record{Gap: uint32(gap), Op: op, LineAddr: addr})
 	}
@@ -186,7 +186,7 @@ func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	if string(magic) != binaryMagic {
 		return nil, fmt.Errorf("%w: %q", ErrBadMagic, magic)
@@ -218,7 +218,7 @@ func (b *BinaryReader) Next() (Record, bool) {
 
 // Err returns the terminal error, or nil at clean EOF.
 func (b *BinaryReader) Err() error {
-	if b.err == io.EOF || b.err == nil {
+	if b.err == nil || errors.Is(b.err, io.EOF) {
 		return nil
 	}
 	return b.err
