@@ -1,21 +1,33 @@
-// Command meccvet is the project's static-analysis multichecker: six
+// Command meccvet is the project's static-analysis multichecker: ten
 // analyzers that pin the simulator's compile-time invariants —
-// deterministic replay, the zero-allocation hot path, nil-safe
-// telemetry hooks, unit-safe clock conversions, documented panics, and
-// sentinel-error wrapping. Run it over the module with
+// deterministic replay, the zero-allocation hot path (locally and
+// through the whole callee closure), nil-safe telemetry hooks,
+// unit-safe clock conversions (typed and name-inferred), documented
+// panics, sentinel-error wrapping, batch-worker write discipline, and
+// seed provenance. Run it over the module with
 //
 //	go run ./cmd/meccvet ./...
 //
 // (or `make lint`). It exits non-zero on any diagnostic; suppress an
 // individual finding with a `//meccvet:allow <analyzer> -- reason`
-// comment on or directly above the offending line. See DESIGN.md §9.
+// comment on or directly above the offending line.
+//
+// Machine-readable output and the CI baseline workflow:
+//
+//	meccvet -format json ./...          # versioned JSON report
+//	meccvet -format sarif ./...         # SARIF 2.1.0 for code scanning
+//	meccvet -baseline lint.baseline.json ./...   # fail only on NEW findings
+//	meccvet -baseline lint.baseline.json -write-baseline ./...  # accept current
+//
+// The baseline matches findings on (file, analyzer, message), ignoring
+// line numbers, so unrelated edits do not break CI. See DESIGN.md §9.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
@@ -32,6 +44,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
+	basePath := fs.String("baseline", "", "baseline file: filter out accepted findings")
+	writeBase := fs.Bool("write-baseline", false, "write the current findings to -baseline and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,6 +56,16 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "meccvet: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if *writeBase && *basePath == "" {
+		fmt.Fprintln(stderr, "meccvet: -write-baseline requires -baseline")
+		return 2
 	}
 
 	var names []string
@@ -63,16 +89,67 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	diags := analysis.Run(analysis.Roots(pkgs), analyzers)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
+	findings := analysis.Findings(diags, cwd)
+
+	if *writeBase {
+		f, err := os.Create(*basePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Fprintln(stdout, d)
+		werr := analysis.NewBaseline(findings).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "meccvet: baseline %s accepts %d finding(s)\n", *basePath, len(findings))
+		return 0
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "meccvet: %d finding(s)\n", len(diags))
+
+	if *basePath != "" {
+		baseline, err := analysis.LoadBaseline(*basePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = baseline.Filter(findings)
+	}
+
+	var out io.Writer = stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "json":
+		if err := analysis.WriteJSON(out, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(out, findings, analyzers); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	if len(findings) > 0 {
+		what := "finding(s)"
+		if *basePath != "" {
+			what = "new finding(s) not in baseline"
+		}
+		fmt.Fprintf(stderr, "meccvet: %d %s\n", len(findings), what)
 		return 1
 	}
 	return 0

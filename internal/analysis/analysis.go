@@ -5,13 +5,19 @@
 // on the standard library (go/parser + go/types over `go list -json`
 // metadata) so the module keeps its zero-dependency property.
 //
-// The analyzers themselves (determinism, hotpath, nilhook, cycleunits,
-// nopanic, errwrap) encode invariants of this simulator that the
-// run-time layers (internal/golden, internal/checker) cannot see until
-// a simulation executes: deterministic replay, the zero-allocation BCH
-// decode contract, nil-safe telemetry hooks, unit-safe cycle/time
-// conversions, documented panics, and sentinel-error wrapping. See
-// DESIGN.md §9 for the rationale and the suppression syntax.
+// The analyzers themselves (determinism, hotpath, hotclosure, nilhook,
+// cycleunits, unitflow, nopanic, errwrap, concsafety, seedflow) encode
+// invariants of this simulator that the run-time layers
+// (internal/golden, internal/checker) cannot see until a simulation
+// executes: deterministic replay, the zero-allocation BCH decode
+// contract (locally and through the whole callee closure), nil-safe
+// telemetry hooks, unit-safe cycle/time conversions (typed and
+// name-inferred), documented panics, sentinel-error wrapping, the
+// batch.For per-index write discipline, and run-config seed
+// provenance. The interprocedural analyzers run on a whole-program
+// layer (program.go: call graph + function index; cfg.go: per-function
+// control-flow graphs with a worklist dataflow solver) built once per
+// Run. See DESIGN.md §9 for the rationale and the suppression syntax.
 package analysis
 
 import (
@@ -65,6 +71,10 @@ type Pass struct {
 	Info *types.Info
 	// PkgPath is the package's import path.
 	PkgPath string
+	// Prog is the whole-program view over every root package of the
+	// run — the call graph, function index, and interprocedural
+	// summaries behind hotclosure, concsafety, seedflow, and unitflow.
+	Prog *Program
 
 	directives []directive
 	report     func(Diagnostic)
@@ -85,10 +95,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // allowedAt reports whether an allow directive covers the position for
-// this pass's analyzer: the directive may trail the offending line or
-// sit alone on the line directly above it.
+// this pass's analyzer. Directives are collected program-wide, because
+// interprocedural analyzers report at positions outside the current
+// package (the breaking call edge of a hot-path closure may live in a
+// callee's package); the filename match keeps the check exact.
 func (p *Pass) allowedAt(pos token.Position) bool {
-	for _, d := range p.directives {
+	return directivesAllow(p.directives, p.Analyzer.Name, pos)
+}
+
+// directivesAllow reports whether an allow directive in the set covers
+// the position for the named analyzer: the directive may trail the
+// offending line or sit alone on the line directly above it.
+func directivesAllow(dirs []directive, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
 		if d.verb != verbAllow || d.pos.Filename != pos.Filename {
 			continue
 		}
@@ -99,7 +118,7 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 			return true
 		}
 		for _, n := range d.names {
-			if n == p.Analyzer.Name {
+			if n == analyzer {
 				return true
 			}
 		}
@@ -113,9 +132,12 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. Packages whose type check failed are
 // reported as loader diagnostics rather than analyzed: analyzers may
-// assume complete type information.
+// assume complete type information. Before the per-package passes run,
+// the error-free packages are indexed into one Program — the call
+// graph and function index the interprocedural analyzers traverse.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	prog := buildProgram(pkgs)
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			for _, err := range pkg.Errors {
@@ -127,7 +149,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			continue
 		}
-		dirs := scanDirectives(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -136,7 +157,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:        pkg.Types,
 				Info:       pkg.Info,
 				PkgPath:    pkg.PkgPath,
-				directives: dirs,
+				Prog:       prog,
+				directives: prog.directives,
 				report:     func(d Diagnostic) { out = append(out, d) },
 			}
 			if err := a.Run(pass); err != nil {

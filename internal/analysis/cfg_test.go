@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks one source file and returns the named
+// function's declaration plus the type facts.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// bitDataflow tracks, per variable, a bitmask of the literal values
+// assigned to it — join is set union, so a merge point sees the values
+// of every reaching branch.
+func bitDataflow(info *types.Info) *dataflow[int] {
+	return &dataflow[int]{
+		join: func(a, b int) int { return a | b },
+		transfer: func(s ast.Stmt, in varState[int]) varState[int] {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return in
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return in
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return in
+			}
+			if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Kind == token.INT {
+				bit := 0
+				switch lit.Value {
+				case "1":
+					bit = 1
+				case "2":
+					bit = 2
+				case "4":
+					bit = 4
+				}
+				in[v] = bit
+			}
+			return in
+		},
+	}
+}
+
+// findReturn locates the first return statement in a body.
+func findReturn(body *ast.BlockStmt) *ast.ReturnStmt {
+	var ret *ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil {
+			ret = r
+		}
+		return ret == nil
+	})
+	return ret
+}
+
+// varNamed finds the *types.Var the function declares under a name.
+func varNamed(info *types.Info, name string) *types.Var {
+	for _, obj := range info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// TestCFGBranchJoin checks that both arms of an if reach the merge
+// point: the state at the return joins the assignments of both
+// branches.
+func TestCFGBranchJoin(t *testing.T) {
+	fd, info := parseFunc(t, `package p
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	g := buildCFG(fd.Body)
+	df := bitDataflow(info)
+	ins := df.solve(g)
+	ret := findReturn(fd.Body)
+	if ret == nil {
+		t.Fatal("no return statement")
+	}
+	st := df.stateAt(g, ins, ret)
+	x := varNamed(info, "x")
+	if st[x] != 1|2 {
+		t.Fatalf("state at return: x = %b, want %b (both branches joined)", st[x], 1|2)
+	}
+}
+
+// TestCFGLoopFixpoint checks the back edge: a value assigned inside the
+// loop body reaches the loop header on the next iteration, and the
+// solver terminates.
+func TestCFGLoopFixpoint(t *testing.T) {
+	fd, info := parseFunc(t, `package p
+func f(n int) int {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = 2
+	}
+	return x
+}`, "f")
+	g := buildCFG(fd.Body)
+	df := bitDataflow(info)
+	ins := df.solve(g)
+	ret := findReturn(fd.Body)
+	st := df.stateAt(g, ins, ret)
+	x := varNamed(info, "x")
+	if st[x] != 1|2 {
+		t.Fatalf("state at return: x = %b, want %b (zero-trip and looped paths joined)", st[x], 1|2)
+	}
+}
+
+// TestCFGSwitchAndBreak checks the switch lowering: every clause joins
+// at the exit, and a break inside a loop wires to the loop's after
+// block.
+func TestCFGSwitchAndBreak(t *testing.T) {
+	fd, info := parseFunc(t, `package p
+func f(k, n int) int {
+	x := 0
+	switch k {
+	case 0:
+		x = 1
+	case 1:
+		x = 2
+	default:
+		x = 4
+	}
+	for i := 0; i < n; i++ {
+		if i == k {
+			break
+		}
+	}
+	return x
+}`, "f")
+	g := buildCFG(fd.Body)
+	df := bitDataflow(info)
+	ins := df.solve(g)
+	ret := findReturn(fd.Body)
+	st := df.stateAt(g, ins, ret)
+	x := varNamed(info, "x")
+	if st[x] != 1|2|4 {
+		t.Fatalf("state at return: x = %b, want %b (all clauses joined)", st[x], 1|2|4)
+	}
+}
+
+// TestCFGRecordsStatements checks stmtBlock coverage: every straight-
+// line statement of a mixed body is locatable, which stateAt depends
+// on.
+func TestCFGRecordsStatements(t *testing.T) {
+	fd, _ := parseFunc(t, `package p
+func f(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = 1
+	}
+	switch n {
+	case 0:
+		x = 2
+	}
+	return x
+}`, "f")
+	g := buildCFG(fd.Body)
+	recorded := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s.(type) {
+		case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt:
+			if _, ok := g.stmtBlock[s]; !ok {
+				t.Errorf("statement not recorded in any block: %v", s)
+			}
+			recorded++
+		}
+		return true
+	})
+	if recorded < 5 {
+		t.Fatalf("walked only %d checkable statements, fixture broken", recorded)
+	}
+}

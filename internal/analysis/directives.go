@@ -19,11 +19,23 @@ import (
 //	//meccvet:unitconv                       (func doc) function is a
 //	                                         sanctioned unit-conversion
 //	                                         helper
+//	//meccvet:quiescent                      (func doc) function mutates
+//	                                         shared state and must not
+//	                                         run concurrently with
+//	                                         traffic (checked by
+//	                                         concsafety)
+//	//meccvet:seed                           (func doc) function derives
+//	                                         deterministic seeds; its
+//	                                         results are sanctioned
+//	                                         rand-source provenance
+//	                                         (trusted by seedflow)
 const (
-	verbAllow    = "allow"
-	verbHotpath  = "hotpath"
-	verbNilsafe  = "nilsafe"
-	verbUnitconv = "unitconv"
+	verbAllow     = "allow"
+	verbHotpath   = "hotpath"
+	verbNilsafe   = "nilsafe"
+	verbUnitconv  = "unitconv"
+	verbQuiescent = "quiescent"
+	verbSeed      = "seed"
 )
 
 const directivePrefix = "//meccvet:"

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotclosure extends the hotpath contract through the whole callee
+// closure: from every //meccvet:hotpath function it follows static call
+// edges into unannotated root-package callees, vets each callee body
+// with the same allocation rules, and flags the call edge whose target
+// (transitively) breaks allocation-freedom, naming the leaf construct.
+// Callees that are themselves annotated //meccvet:hotpath are trusted —
+// they are proven at their own root, keeping the analysis
+// compositional. Dynamic edges (function values, interface methods)
+// cannot be proven and are flagged at the call site; stdlib calls are
+// leaves unless they land in the known formatting/allocating packages,
+// which the local hotpath pass already reports.
+var Hotclosure = &Analyzer{
+	Name: "hotclosure",
+	Doc: "the transitive callee closure of a //meccvet:hotpath function " +
+		"must be allocation-free: call edges reaching an allocating or " +
+		"unprovable (dynamic) callee are flagged",
+	Run: runHotclosure,
+}
+
+// allocIssue is one allocation-freedom violation found while vetting a
+// callee body: the leaf construct that allocates, at its position.
+type allocIssue struct {
+	pos  token.Position
+	desc string
+}
+
+func runHotclosure(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, verbHotpath) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkHotEdges(pass, fn, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// checkHotEdges vets every call edge leaving a hot root (including
+// edges inside its function literals, which run on the hot path).
+func checkHotEdges(pass *Pass, root *types.Func, rootName string) {
+	for _, cs := range pass.Prog.CallsFrom(root) {
+		switch {
+		case cs.Dynamic:
+			pass.Reportf(cs.Call.Pos(),
+				"dynamic call in hot path %s cannot be proven allocation-free; devirtualize or justify with //meccvet:allow hotclosure", rootName)
+		case cs.Callee != nil:
+			if cs.Callee.Hotpath() {
+				continue // proven at its own root
+			}
+			if issue := pass.Prog.allocSummary(cs.Callee.Fn); issue != nil {
+				pass.Reportf(cs.Call.Pos(),
+					"call to %s from hot path %s is not allocation-free: %s (%s:%d)",
+					cs.Callee.Fn.Name(), rootName, issue.desc, issue.pos.Filename, issue.pos.Line)
+			}
+		}
+	}
+}
+
+// allocSummary reports the first allocation-freedom violation in fn's
+// transitive closure (fn's own body, then its unannotated internal
+// callees), or nil when the closure is provably allocation-free.
+// Findings suppressed with //meccvet:allow hotclosure at the construct
+// do not poison the closure. Recursion cycles resolve to clean through
+// the in-progress marker.
+func (prog *Program) allocSummary(fn *types.Func) *allocIssue {
+	if prog.allocDone[fn] {
+		return prog.allocFacts[fn]
+	}
+	prog.allocDone[fn] = true // in progress: cycles resolve to nil
+	fi := prog.funcs[fn]
+	if fi == nil || fi.Decl.Body == nil {
+		return nil
+	}
+	var issue *allocIssue
+	hs := &hotScanner{
+		info: fi.Pkg.Info,
+		name: fn.Name(),
+		report: func(pos token.Pos, format string, args ...any) {
+			if issue != nil {
+				return
+			}
+			position := fi.Pkg.Fset.Position(pos)
+			if prog.allowed("hotclosure", position) {
+				return
+			}
+			issue = &allocIssue{pos: position, desc: fmt.Sprintf(format, args...)}
+		},
+	}
+	hs.scan(fi.Decl.Body)
+	if issue == nil {
+		for _, cs := range prog.calls[fn] {
+			switch {
+			case cs.Dynamic:
+				position := fi.Pkg.Fset.Position(cs.Call.Pos())
+				if prog.allowed("hotclosure", position) {
+					continue
+				}
+				issue = &allocIssue{pos: position, desc: fmt.Sprintf("dynamic call in %s cannot be proven allocation-free", fn.Name())}
+			case cs.Callee != nil && !cs.Callee.Hotpath():
+				issue = prog.allocSummary(cs.Callee.Fn)
+			}
+			if issue != nil {
+				break
+			}
+		}
+	}
+	prog.allocFacts[fn] = issue
+	return issue
+}

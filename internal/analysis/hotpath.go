@@ -13,6 +13,7 @@ import (
 // conversion, and no implicit interface boxing in call arguments. The
 // run-time ZeroAllocs guard tests measure the same contract on concrete
 // inputs; this analyzer pins it for every path through the source.
+// Hotclosure extends the same rules through the callee closure.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "functions marked //meccvet:hotpath may not contain " +
@@ -35,94 +36,111 @@ func runHotpath(pass *Pass) error {
 			if !ok || fd.Body == nil || !hasDirective(fd.Doc, verbHotpath) {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			hs := &hotScanner{
+				info: pass.Info,
+				name: fd.Name.Name,
+				report: func(pos token.Pos, format string, args ...any) {
+					pass.Reportf(pos, format, args...)
+				},
+			}
+			hs.scan(fd.Body)
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
+// hotScanner applies the hot-path allocation rules to one function
+// body, reporting each violation through the report callback. The
+// hotpath analyzer binds report to pass.Reportf; hotclosure binds it to
+// a summary collector so unannotated callees can be vetted without
+// emitting diagnostics of their own.
+type hotScanner struct {
+	info   *types.Info
+	name   string
+	report func(pos token.Pos, format string, args ...any)
+}
+
+func (hs *hotScanner) scan(body ast.Node) {
 	var stack []ast.Node
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true
 		}
 		switch n := n.(type) {
 		case *ast.DeferStmt:
-			pass.Reportf(n.Pos(), "defer in hot path %s delays cleanup and costs a frame record", name)
+			hs.report(n.Pos(), "defer in hot path %s delays cleanup and costs a frame record", hs.name)
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "goroutine launch in hot path %s allocates a stack", name)
+			hs.report(n.Pos(), "goroutine launch in hot path %s allocates a stack", hs.name)
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure in hot path %s may allocate its captures", name)
+			hs.report(n.Pos(), "closure in hot path %s may allocate its captures", hs.name)
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "&composite literal in hot path %s escapes to the heap", name)
+					hs.report(n.Pos(), "&composite literal in hot path %s escapes to the heap", hs.name)
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, n, name, stack)
+			hs.call(n, stack)
 		}
 		stack = append(stack, n)
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, call *ast.CallExpr, fname string, stack []ast.Node) {
-	if t, ok := pass.isConversion(call); ok {
-		checkHotConversion(pass, call, t, fname)
+func (hs *hotScanner) call(call *ast.CallExpr, stack []ast.Node) {
+	if tv, ok := hs.info.Types[call.Fun]; ok && tv.IsType() {
+		hs.conversion(call, tv.Type)
 		return
 	}
-	obj := pass.calleeObject(call)
+	obj := calleeObjectIn(hs.info, call)
 	if obj != nil {
 		if b, ok := obj.(*types.Builtin); ok {
 			switch b.Name() {
 			case "make", "new":
-				pass.Reportf(call.Pos(), "%s in hot path %s allocates", b.Name(), fname)
+				hs.report(call.Pos(), "%s in hot path %s allocates", b.Name(), hs.name)
 			case "append":
-				checkHotAppend(pass, call, fname, stack)
+				hs.appendCall(call, stack)
 			}
 			return
 		}
 		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
 			if why, bad := allocPkgs[fn.Pkg().Path()]; bad {
-				pass.Reportf(call.Pos(), "%s.%s in hot path %s %s", fn.Pkg().Name(), fn.Name(), fname, why)
+				hs.report(call.Pos(), "%s.%s in hot path %s %s", fn.Pkg().Name(), fn.Name(), hs.name, why)
 				return
 			}
 		}
 	}
-	checkBoxing(pass, call, fname)
+	hs.boxing(call)
 }
 
-// checkHotAppend flags appends that build a fresh slice (result bound
-// to a new variable or consumed as a bare expression). Growing a
+// appendCall flags appends that build a fresh slice (result bound to a
+// new variable or consumed as a bare expression). Growing a
 // caller-provided buffer in place (`buf = append(buf, ...)`) is the
 // sanctioned amortized pattern — see retention.FlipPositionsAppend.
-func checkHotAppend(pass *Pass, call *ast.CallExpr, fname string, stack []ast.Node) {
+func (hs *hotScanner) appendCall(call *ast.CallExpr, stack []ast.Node) {
 	if len(stack) > 0 {
 		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok && as.Tok.String() == "=" {
 			return
 		}
 	}
-	pass.Reportf(call.Pos(), "append into a fresh slice in hot path %s allocates; grow a reused buffer instead", fname)
+	hs.report(call.Pos(), "append into a fresh slice in hot path %s allocates; grow a reused buffer instead", hs.name)
 }
 
-func checkHotConversion(pass *Pass, call *ast.CallExpr, target types.Type, fname string) {
+func (hs *hotScanner) conversion(call *ast.CallExpr, target types.Type) {
 	if len(call.Args) != 1 {
 		return
 	}
-	argT := pass.TypeOf(call.Args[0])
+	argT := hs.info.TypeOf(call.Args[0])
 	if argT == nil {
 		return
 	}
 	if types.IsInterface(target) && !types.IsInterface(argT) {
-		pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes its operand", fname)
+		hs.report(call.Pos(), "conversion to interface in hot path %s boxes its operand", hs.name)
 		return
 	}
 	if isStringSlicePair(target, argT) || isStringSlicePair(argT, target) {
-		pass.Reportf(call.Pos(), "string/slice conversion in hot path %s copies and allocates", fname)
+		hs.report(call.Pos(), "string/slice conversion in hot path %s copies and allocates", hs.name)
 	}
 }
 
@@ -140,11 +158,11 @@ func isStringSlicePair(a, b types.Type) bool {
 	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune)
 }
 
-// checkBoxing flags call arguments whose concrete static type meets an
+// boxing flags call arguments whose concrete static type meets an
 // interface parameter: the compiler boxes the value, which on a hot
 // path is a hidden per-call allocation.
-func checkBoxing(pass *Pass, call *ast.CallExpr, fname string) {
-	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+func (hs *hotScanner) boxing(call *ast.CallExpr) {
+	sig, ok := hs.info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -168,7 +186,7 @@ func checkBoxing(pass *Pass, call *ast.CallExpr, fname string) {
 		default:
 			continue
 		}
-		argTV, ok := pass.Info.Types[arg]
+		argTV, ok := hs.info.Types[arg]
 		if !ok {
 			continue
 		}
@@ -176,7 +194,7 @@ func checkBoxing(pass *Pass, call *ast.CallExpr, fname string) {
 			continue
 		}
 		if types.IsInterface(paramT) && !types.IsInterface(argTV.Type) {
-			pass.Reportf(arg.Pos(), "argument boxes into interface parameter in hot path %s", fname)
+			hs.report(arg.Pos(), "argument boxes into interface parameter in hot path %s", hs.name)
 		}
 	}
 }

@@ -57,12 +57,37 @@ func TestErrwrap(t *testing.T) {
 	analysistest.MustFindings(t, diags, 5)
 }
 
-// TestSelect pins the registry: All covers the six analyzers and
+func TestConcsafety(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Concsafety, "./testdata/src/conc")
+	analysistest.MustFindings(t, diags, 6)
+}
+
+func TestSeedflow(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Seedflow, "./testdata/src/seed")
+	analysistest.MustFindings(t, diags, 4)
+}
+
+func TestHotclosure(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Hotclosure, "./testdata/src/hotcall")
+	analysistest.MustFindings(t, diags, 2)
+}
+
+func TestUnitflow(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Unitflow, "./testdata/src/power")
+	analysistest.MustFindings(t, diags, 7)
+}
+
+func TestUnitflowOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Unitflow, "./testdata/src/scopefree")
+	analysistest.MustFindings(t, diags, 0)
+}
+
+// TestSelect pins the registry: All covers the ten analyzers and
 // Select rejects unknown names.
 func TestSelect(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 6 {
-		t.Fatalf("All() = %d analyzers, want 6", len(all))
+	if len(all) != 10 {
+		t.Fatalf("All() = %d analyzers, want 10", len(all))
 	}
 	got, err := analysis.Select([]string{"determinism", "nopanic"})
 	if err != nil || len(got) != 2 {

@@ -8,12 +8,16 @@ import (
 // All returns every meccvet analyzer in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Concsafety,
 		Cycleunits,
 		Determinism,
 		Errwrap,
+		Hotclosure,
 		Hotpath,
 		Nilhook,
 		Nopanic,
+		Seedflow,
+		Unitflow,
 	}
 }
 

@@ -1,0 +1,479 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedflow is a taint analysis over rand-source construction: every
+// seed reaching a math/rand source constructor (NewSource, NewPCG, the
+// global Seed) must be provenance-traceable to a run-config seed — an
+// integer constant, a *seed*-named parameter, variable, or config
+// field, or the result of a //meccvet:seed-annotated derivation helper.
+// Provenance is propagated flow-sensitively through each function by
+// the CFG worklist solver and across function boundaries through the
+// call graph: a seed that is a plain parameter is checked at every call
+// site, and a callee's return provenance is summarized and substituted
+// at the caller. Wall-clock reads, the process-global rand source, and
+// process state (pid, environment) taint everything they touch.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc: "seeds reaching math/rand source constructors must be " +
+		"provenance-traceable to a run-config seed (constant, *seed*-named " +
+		"value, or //meccvet:seed helper), checked through the call graph",
+	Run: runSeedflow,
+}
+
+// provKind is the seed-provenance lattice, ordered by rank: unknown <
+// seeded < param < opaque < tainted.
+type provKind uint8
+
+const (
+	provUnknown provKind = iota // bottom: no information
+	provSeeded                  // traceable to a run-config seed
+	provParam                   // exactly one plain parameter: check call sites
+	provOpaque                  // untraceable (join of mixed origins, memory, externals)
+	provTainted                 // reaches a known nondeterministic source
+)
+
+// prov is one abstract seed-provenance value.
+type prov struct {
+	kind   provKind
+	param  *types.Var // provParam: the parameter the value flows from
+	reason string     // provTainted: the nondeterministic origin
+}
+
+// joinProv is the lattice join: higher rank wins; two different
+// parameters (or a parameter against anything but itself) collapse to
+// opaque because a single substitution site no longer exists.
+func joinProv(a, b prov) prov {
+	if a == b {
+		return a
+	}
+	if a.kind == b.kind {
+		if a.kind == provParam {
+			return prov{kind: provOpaque}
+		}
+		if a.kind == provTainted {
+			return a // either reason serves
+		}
+		return a
+	}
+	if a.kind < b.kind {
+		a, b = b, a
+	}
+	if a.kind == provParam && b.kind == provSeeded {
+		// One arm traceable, one a parameter: still checkable at the
+		// parameter's call sites.
+		return a
+	}
+	return a
+}
+
+// seedish reports whether an identifier names a seed by convention.
+func seedish(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// randSinks are the math/rand(/v2) constructors whose integer arguments
+// must carry seed provenance.
+var randSinks = map[string]bool{"NewSource": true, "NewPCG": true, "Seed": true}
+
+func runSeedflow(pass *Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.calleeObject(call)
+		fn, ok := obj.(*types.Func)
+		if !ok || !randSinks[fn.Name()] || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		checkSink(pass, call, stack)
+		return true
+	})
+	return nil
+}
+
+// checkSink evaluates the provenance of every argument of one rand
+// source constructor in its enclosing function's dataflow state.
+func checkSink(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	ctx := &provCtx{prog: pass.Prog, info: pass.Info}
+	var st varState[prov]
+	if fd := enclosingFuncDecl(stack); fd != nil {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			ctx.fi = pass.Prog.FuncOf(fn)
+		}
+	}
+	if ctx.fi != nil {
+		if g := pass.Prog.cfgOf(ctx.fi.Fn); g != nil {
+			df := ctx.dataflow()
+			ins := df.solve(g)
+			if target := g.enclosingRecorded(stack, call); target != nil {
+				st = df.stateAt(g, ins, target)
+			}
+		}
+	}
+	if st == nil {
+		st = varState[prov]{}
+	}
+	for _, arg := range call.Args {
+		p := ctx.eval(arg, st)
+		switch p.kind {
+		case provSeeded, provUnknown:
+			// Unknown means the argument is not an integer-bearing
+			// expression we track (e.g. a Source value) — NewSource on
+			// the way in was checked at its own call.
+		case provTainted:
+			pass.Reportf(arg.Pos(),
+				"rand source seed derives from %s; thread a run-config seed instead", p.reason)
+		case provOpaque:
+			pass.Reportf(arg.Pos(),
+				"rand source seed is not provenance-traceable to a run-config seed (name it *seed*, take it from config, or annotate the deriving helper //meccvet:seed)")
+		case provParam:
+			checkParamCallers(pass, arg, p.param, ctx.fi, make(map[*types.Var]bool))
+		}
+	}
+}
+
+// checkParamCallers verifies a parameter carrying seed data at every
+// call site of its function, recursing through plain-parameter
+// forwarding. A sink whose seed flows from a call site passing a
+// tainted or untraceable value is reported at the sink.
+func checkParamCallers(pass *Pass, sinkArg ast.Expr, param *types.Var, fi *FuncInfo, visiting map[*types.Var]bool) {
+	if fi == nil || visiting[param] {
+		return
+	}
+	visiting[param] = true
+	idx := paramIndex(fi.Fn, param)
+	if idx < 0 {
+		return
+	}
+	for _, edge := range pass.Prog.CallersOf(fi.Fn) {
+		if idx >= len(edge.Call.Args) {
+			continue // variadic shapes the index no longer matches
+		}
+		arg := edge.Call.Args[idx]
+		ctx := &provCtx{prog: pass.Prog, info: edge.Caller.Pkg.Info, fi: edge.Caller}
+		st := ctx.stateAtCall(edge.Call)
+		p := ctx.eval(arg, st)
+		switch p.kind {
+		case provParam:
+			checkParamCallers(pass, sinkArg, p.param, edge.Caller, visiting)
+		case provTainted:
+			pos := edge.Caller.Pkg.Fset.Position(arg.Pos())
+			pass.Reportf(sinkArg.Pos(),
+				"rand source seed flows from parameter %s, which receives a value derived from %s at %s:%d",
+				param.Name(), p.reason, pos.Filename, pos.Line)
+		case provOpaque:
+			pos := edge.Caller.Pkg.Fset.Position(arg.Pos())
+			pass.Reportf(sinkArg.Pos(),
+				"rand source seed flows from parameter %s, which receives a non-seed value at %s:%d",
+				param.Name(), pos.Filename, pos.Line)
+		}
+	}
+}
+
+// paramIndex returns the position of param in fn's parameter list, or -1.
+func paramIndex(fn *types.Func, param *types.Var) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == param {
+			return i
+		}
+	}
+	return -1
+}
+
+// provCtx evaluates provenance of expressions within one function.
+type provCtx struct {
+	prog  *Program
+	info  *types.Info
+	fi    *FuncInfo // enclosing function; nil at package-level initializers
+	depth int
+}
+
+// dataflow binds the provenance transfer/join for the worklist solver.
+func (c *provCtx) dataflow() *dataflow[prov] {
+	return &dataflow[prov]{
+		transfer: func(s ast.Stmt, in varState[prov]) varState[prov] { return c.transfer(s, in) },
+		join:     joinProv,
+	}
+}
+
+// stateAtCall solves the context function and replays to the statement
+// enclosing the given call.
+func (c *provCtx) stateAtCall(call *ast.CallExpr) varState[prov] {
+	if c.fi == nil {
+		return varState[prov]{}
+	}
+	g := c.prog.cfgOf(c.fi.Fn)
+	if g == nil {
+		return varState[prov]{}
+	}
+	df := c.dataflow()
+	ins := df.solve(g)
+	if target := findEnclosingStmt(c.fi.Decl.Body, call, g); target != nil {
+		return df.stateAt(g, ins, target)
+	}
+	return varState[prov]{}
+}
+
+// findEnclosingStmt locates the recorded statement containing a node.
+func findEnclosingStmt(body *ast.BlockStmt, target ast.Node, g *cfg) ast.Stmt {
+	var found ast.Stmt
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target {
+			found = g.enclosingRecorded(stack, n)
+			return false
+		}
+		stack = append(stack, n)
+		return found == nil
+	})
+	return found
+}
+
+// transfer folds one statement into the provenance state.
+func (c *provCtx) transfer(s ast.Stmt, in varState[prov]) varState[prov] {
+	set := func(lhs ast.Expr, p prov) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			obj := c.info.Defs[id]
+			if obj == nil {
+				obj = c.info.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				in[v] = p
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			p := c.eval(s.Rhs[0], in)
+			for _, l := range s.Lhs {
+				set(l, p)
+			}
+			return in
+		}
+		for i, l := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			p := c.eval(s.Rhs[i], in)
+			if s.Tok.String() != "=" && s.Tok.String() != ":=" {
+				// Compound assignment mixes old and new provenance.
+				p = joinProv(p, c.eval(l, in))
+			}
+			set(l, p)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						set(name, c.eval(vs.Values[i], in))
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Loop indices are deterministic; ranged values inherit the
+		// container's provenance.
+		if s.Key != nil {
+			set(s.Key, prov{kind: provSeeded})
+		}
+		if s.Value != nil {
+			set(s.Value, c.eval(s.X, in))
+		}
+	}
+	return in
+}
+
+// eval computes the provenance of one expression under a state.
+func (c *provCtx) eval(e ast.Expr, st varState[prov]) prov {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return prov{kind: provSeeded}
+	case *ast.Ident:
+		return c.evalIdent(e, st)
+	case *ast.SelectorExpr:
+		if v, ok := c.info.Uses[e.Sel].(*types.Var); ok {
+			if seedish(v.Name()) {
+				return prov{kind: provSeeded}
+			}
+			if isPkgLevelVar(v) {
+				return prov{kind: provOpaque}
+			}
+		}
+		// A non-seed field of anything: untraceable.
+		return prov{kind: provOpaque}
+	case *ast.CallExpr:
+		return c.evalCall(e, st)
+	case *ast.BinaryExpr:
+		return joinProv(c.eval(e.X, st), c.eval(e.Y, st))
+	case *ast.UnaryExpr:
+		return c.eval(e.X, st)
+	case *ast.IndexExpr:
+		// seeds[i] inherits the container's provenance.
+		return c.eval(e.X, st)
+	case *ast.StarExpr:
+		return c.eval(e.X, st)
+	}
+	return prov{kind: provOpaque}
+}
+
+func (c *provCtx) evalIdent(id *ast.Ident, st varState[prov]) prov {
+	obj := c.info.Uses[id]
+	if obj == nil {
+		obj = c.info.Defs[id]
+	}
+	switch obj := obj.(type) {
+	case *types.Const:
+		return prov{kind: provSeeded}
+	case *types.Var:
+		// The declared name is the sanction: a *seed*-named variable is
+		// run-config provenance by convention, whatever produced it.
+		if seedish(obj.Name()) {
+			return prov{kind: provSeeded}
+		}
+		if p, ok := st[obj]; ok && p.kind != provUnknown {
+			return p
+		}
+		if c.fi != nil && paramIndex(c.fi.Fn, obj) >= 0 {
+			return prov{kind: provParam, param: obj}
+		}
+		return prov{kind: provOpaque}
+	}
+	return prov{kind: provOpaque}
+}
+
+// evalCall classifies call results: known nondeterministic sources
+// taint, //meccvet:seed helpers sanctify, internal callees are
+// summarized and parameter results substituted with the actual
+// arguments, and everything else is opaque.
+func (c *provCtx) evalCall(call *ast.CallExpr, st varState[prov]) prov {
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return c.eval(call.Args[0], st) // conversion
+		}
+		return prov{kind: provOpaque}
+	}
+	obj := calleeObjectIn(c.info, call)
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		// len/cap/min/max over deterministic data are deterministic.
+		return prov{kind: provSeeded}
+	case *types.Func:
+		if t := taintedSource(obj); t != "" {
+			return prov{kind: provTainted, reason: t}
+		}
+		if c.prog.funcVerb(obj, verbSeed) {
+			return prov{kind: provSeeded}
+		}
+		// A method call propagates its receiver's taint
+		// (time.Now().UnixNano() stays tainted through the chain).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if p := c.eval(sel.X, st); p.kind == provTainted {
+					return p
+				}
+			}
+		}
+		if fi := c.prog.FuncOf(obj); fi != nil && c.depth < 6 {
+			p := c.returnProv(fi)
+			if p.kind == provParam {
+				if idx := paramIndex(fi.Fn, p.param); idx >= 0 && idx < len(call.Args) {
+					return c.eval(call.Args[idx], st)
+				}
+				return prov{kind: provOpaque}
+			}
+			return p
+		}
+	}
+	return prov{kind: provOpaque}
+}
+
+// taintedSource names the nondeterminism a stdlib function introduces,
+// or returns "".
+func taintedSource(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if isPkgLevelFunc(fn, "time") && (name == "Now" || name == "Since" || name == "Until") {
+			return "the wall clock (time." + name + ")"
+		}
+	case "math/rand":
+		if isPkgLevelFunc(fn, "math/rand") && !randConstructors[name] {
+			return "the process-global math/rand source"
+		}
+	case "math/rand/v2":
+		if isPkgLevelFunc(fn, "math/rand/v2") && !randConstructors[name] {
+			return "the OS-entropy-seeded math/rand/v2 source"
+		}
+	case "crypto/rand":
+		return "crypto/rand"
+	case "os":
+		if name == "Getpid" || name == "Getppid" || name == "Getenv" || name == "Environ" {
+			return "process state (os." + name + ")"
+		}
+	}
+	return ""
+}
+
+// returnProv summarizes the provenance a function's results carry: the
+// join over every return statement's result expressions, evaluated in
+// the function's own solved dataflow states. Cycles resolve to opaque.
+func (c *provCtx) returnProv(fi *FuncInfo) prov {
+	if c.prog.provDone[fi.Fn] {
+		return c.prog.provFacts[fi.Fn]
+	}
+	c.prog.provDone[fi.Fn] = true
+	c.prog.provFacts[fi.Fn] = prov{kind: provOpaque} // cycle default
+	g := c.prog.cfgOf(fi.Fn)
+	if g == nil {
+		return prov{kind: provOpaque}
+	}
+	callee := &provCtx{prog: c.prog, info: fi.Pkg.Info, fi: fi, depth: c.depth + 1}
+	df := callee.dataflow()
+	ins := df.solve(g)
+	var out prov
+	for bi, blk := range g.blocks {
+		st := cloneState(ins[bi])
+		for _, s := range blk.stmts {
+			if ret, ok := s.(*ast.ReturnStmt); ok {
+				for _, res := range ret.Results {
+					out = joinProv(out, callee.eval(res, st))
+				}
+			}
+			st = callee.transfer(s, st)
+		}
+	}
+	if out.kind == provUnknown {
+		out = prov{kind: provOpaque} // naked or resultless returns
+	}
+	c.prog.provFacts[fi.Fn] = out
+	return out
+}

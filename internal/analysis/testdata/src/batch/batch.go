@@ -1,0 +1,12 @@
+// Package batch is a fixture stand-in for the real fork-join primitive:
+// concsafety recognizes For by name and by the "batch" path segment, so
+// this helper package gives the conc fixture a For with the real
+// signature without importing the simulator.
+package batch
+
+// For runs fn over [0, n) — inline, since fixtures only need the shape.
+func For(n, minPerWorker int, fn func(lo, hi int)) {
+	if n > 0 {
+		fn(0, n)
+	}
+}

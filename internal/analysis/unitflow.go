@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Unitflow propagates clock-domain units (CPU/DRAM cycles vs
+// nanoseconds) through the integer arithmetic of the clock-domain
+// packages. Cycleunits polices the typed boundary (time.Duration ↔ raw
+// numeric); unitflow covers the rest of the tree where both domains
+// live as plain integers: a variable, field, parameter, or result whose
+// name carries a unit token (cycle/cycles/cyc vs ns/nanos/nanoseconds)
+// is tagged, units flow through assignments via the CFG dataflow
+// solver, and mixing the two domains in additive arithmetic,
+// comparisons, call arguments, assignments, or returns is reported.
+// Multiplication and division are exempt — scaling by a rate is exactly
+// how sanctioned conversions are written — and //meccvet:unitconv
+// functions are skipped wholesale.
+var Unitflow = &Analyzer{
+	Name: "unitflow",
+	Doc: "cycle-counted and nanosecond-counted integers must not mix in " +
+		"additive arithmetic, comparisons, call arguments, assignments, or " +
+		"returns in the clock-domain packages; units are inferred from " +
+		"*cycle*/*ns* name tokens and propagated flow-sensitively",
+	Run: runUnitflow,
+}
+
+// unit is the clock-domain lattice: unknown < {ns, cycles} < conflict.
+type unit uint8
+
+const (
+	unitUnknown  unit = iota // no unit information
+	unitNs                   // nanoseconds
+	unitCycles               // clock cycles
+	unitConflict             // joined from both domains
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitNs:
+		return "nanosecond"
+	case unitCycles:
+		return "cycle"
+	case unitConflict:
+		return "conflicting-unit"
+	}
+	return "unknown-unit"
+}
+
+// joinUnit is the lattice join.
+func joinUnit(a, b unit) unit {
+	if a == b || b == unitUnknown {
+		return a
+	}
+	if a == unitUnknown {
+		return b
+	}
+	return unitConflict
+}
+
+// mixed reports whether two units are distinct known domains.
+func mixed(a, b unit) bool {
+	return a != unitUnknown && b != unitUnknown && a != b &&
+		a != unitConflict && b != unitConflict
+}
+
+func runUnitflow(pass *Pass) error {
+	if pass.Prog == nil || !anySegment(pass.PkgPath, cycleunitsScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasDirective(fd.Doc, verbUnitconv) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkUnitFunc(pass, fn, fd)
+		}
+	}
+	return nil
+}
+
+// checkUnitFunc solves the unit dataflow over one function and checks
+// every statement under its entry state.
+func checkUnitFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
+	c := &unitCtx{pass: pass, fn: fn}
+	g := pass.Prog.cfgOf(fn)
+	if g == nil {
+		return
+	}
+	df := &dataflow[unit]{
+		transfer: func(s ast.Stmt, in varState[unit]) varState[unit] { return c.transfer(s, in) },
+		join:     joinUnit,
+	}
+	ins := df.solve(g)
+	for bi, blk := range g.blocks {
+		st := cloneState(ins[bi])
+		for _, s := range blk.stmts {
+			c.check(s, st)
+			st = c.transfer(s, st)
+		}
+	}
+}
+
+// unitCtx evaluates and checks units within one function.
+type unitCtx struct {
+	pass *Pass
+	fn   *types.Func
+}
+
+// transfer folds assignments into the unit state. A variable whose own
+// name carries a unit keeps it; anonymous-named variables inherit the
+// unit of what they were assigned.
+func (c *unitCtx) transfer(s ast.Stmt, in varState[unit]) varState[unit] {
+	set := func(lhs ast.Expr, u unit) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !isIntegerVar(v) {
+			return
+		}
+		if named := unitFromName(v.Name()); named != unitUnknown {
+			u = named // the declared name is authoritative
+		}
+		in[v] = u
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			return in // multi-value call: no unit claims
+		}
+		for i, l := range s.Lhs {
+			if i < len(s.Rhs) {
+				set(l, c.eval(s.Rhs[i], in))
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							set(name, c.eval(vs.Values[i], in))
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if s.Value != nil {
+			set(s.Value, c.eval(s.X, in))
+		}
+	}
+	return in
+}
+
+// check reports unit mixing inside one statement's expressions.
+func (c *unitCtx) check(s ast.Stmt, st varState[unit]) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			break
+		}
+		for i, l := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			lu := c.targetUnit(l, st)
+			ru := c.eval(s.Rhs[i], st)
+			if mixed(lu, ru) {
+				c.pass.Reportf(s.Rhs[i].Pos(),
+					"assigning a %s count to %s-denominated %s; convert in a //meccvet:unitconv helper first",
+					ru, lu, types.ExprString(l))
+			}
+		}
+	case *ast.ReturnStmt:
+		c.checkReturn(s, st)
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope; its own cfg is not this one
+		case *ast.BinaryExpr:
+			c.checkBinary(n, st)
+		case *ast.CallExpr:
+			c.checkCallArgs(n, st)
+		}
+		return true
+	})
+}
+
+// additiveOps are the operators where both operands must share a unit.
+var additiveOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.REM: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (c *unitCtx) checkBinary(e *ast.BinaryExpr, st varState[unit]) {
+	if !additiveOps[e.Op] {
+		return // mul/div scale between domains: the sanctioned conversion
+	}
+	xu := c.eval(e.X, st)
+	yu := c.eval(e.Y, st)
+	if mixed(xu, yu) {
+		c.pass.Reportf(e.OpPos,
+			"%s mixes a %s count (%s) with a %s count (%s); convert in a //meccvet:unitconv helper first",
+			e.Op, xu, types.ExprString(e.X), yu, types.ExprString(e.Y))
+	}
+}
+
+// checkCallArgs compares each argument's unit against the unit the
+// callee's parameter name declares — the interprocedural half of the
+// analysis, resolved through the call graph.
+func (c *unitCtx) checkCallArgs(call *ast.CallExpr, st varState[unit]) {
+	fn, ok := calleeObjectIn(c.pass.Info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	fi := c.pass.Prog.FuncOf(fn)
+	if fi == nil || hasDirective(fi.Decl.Doc, verbUnitconv) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		p := sig.Params().At(i)
+		if !isIntegerVar(p) {
+			continue
+		}
+		pu := unitFromName(p.Name())
+		au := c.eval(call.Args[i], st)
+		if mixed(pu, au) {
+			c.pass.Reportf(call.Args[i].Pos(),
+				"argument %s carries a %s count but parameter %s of %s is %s-denominated",
+				types.ExprString(call.Args[i]), au, p.Name(), fn.Name(), pu)
+		}
+	}
+}
+
+// checkReturn compares returned expressions against the unit declared
+// by the function's result names (or, for anonymous results, by the
+// function's own name).
+func (c *unitCtx) checkReturn(ret *ast.ReturnStmt, st varState[unit]) {
+	sig, ok := c.fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, res := range ret.Results {
+		if i >= sig.Results().Len() {
+			break
+		}
+		r := sig.Results().At(i)
+		if !isIntegerVar(r) {
+			continue
+		}
+		declared := unitFromName(r.Name())
+		if declared == unitUnknown && sig.Results().Len() == 1 {
+			declared = unitFromName(c.fn.Name())
+		}
+		got := c.eval(res, st)
+		if mixed(declared, got) {
+			c.pass.Reportf(res.Pos(),
+				"returning a %s count from %s, which declares a %s result; convert in a //meccvet:unitconv helper first",
+				got, c.fn.Name(), declared)
+		}
+	}
+}
+
+// targetUnit is the declared unit of an assignment target.
+func (c *unitCtx) targetUnit(lhs ast.Expr, st varState[unit]) unit {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// The declared name wins; flow state covers unnamed carriers.
+		obj := c.pass.Info.Defs[lhs]
+		if obj == nil {
+			obj = c.pass.Info.Uses[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok && isIntegerVar(v) {
+			if u := unitFromName(v.Name()); u != unitUnknown {
+				return u
+			}
+		}
+		return unitUnknown
+	case *ast.SelectorExpr:
+		if v, ok := c.pass.Info.Uses[lhs.Sel].(*types.Var); ok && isIntegerVar(v) {
+			return unitFromName(v.Name())
+		}
+	case *ast.IndexExpr:
+		return c.targetUnit(lhs.X, st)
+	case *ast.StarExpr:
+		return c.targetUnit(lhs.X, st)
+	}
+	return unitUnknown
+}
+
+// eval computes the unit an expression carries under a state.
+func (c *unitCtx) eval(e ast.Expr, st varState[unit]) unit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[e]
+		if obj == nil {
+			obj = c.pass.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !isIntegerVar(v) {
+			return unitUnknown
+		}
+		if named := unitFromName(v.Name()); named != unitUnknown {
+			return named
+		}
+		return st[v]
+	case *ast.SelectorExpr:
+		if v, ok := c.pass.Info.Uses[e.Sel].(*types.Var); ok && isIntegerVar(v) {
+			return unitFromName(v.Name())
+		}
+		return unitUnknown
+	case *ast.CallExpr:
+		return c.callUnit(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB || e.Op == token.REM {
+			return joinUnit(c.eval(e.X, st), c.eval(e.Y, st))
+		}
+		return unitUnknown // mul/div/shift change the denomination
+	case *ast.UnaryExpr:
+		return c.eval(e.X, st)
+	case *ast.IndexExpr:
+		return c.eval(e.X, st)
+	case *ast.StarExpr:
+		return c.eval(e.X, st)
+	}
+	return unitUnknown
+}
+
+// callUnit is the unit a call's (single) result carries: the callee's
+// result summary for internal functions, unknown otherwise.
+func (c *unitCtx) callUnit(call *ast.CallExpr) unit {
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			// A conversion preserves the count's denomination.
+			return c.eval(call.Args[0], varState[unit]{})
+		}
+		return unitUnknown
+	}
+	fn, ok := calleeObjectIn(c.pass.Info, call).(*types.Func)
+	if !ok {
+		return unitUnknown
+	}
+	if fi := c.pass.Prog.FuncOf(fn); fi != nil {
+		return c.pass.Prog.resultUnit(fi)
+	}
+	return unitUnknown
+}
+
+// resultUnit summarizes the unit a function's single integer result
+// carries, from its result name or, failing that, the function name.
+// //meccvet:unitconv converters are deliberately unknown: their whole
+// point is changing denomination.
+func (prog *Program) resultUnit(fi *FuncInfo) unit {
+	if prog.unitDone[fi.Fn] {
+		return prog.unitFacts[fi.Fn]
+	}
+	prog.unitDone[fi.Fn] = true
+	u := unitUnknown
+	if !hasDirective(fi.Decl.Doc, verbUnitconv) {
+		if sig, ok := fi.Fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 {
+			r := sig.Results().At(0)
+			if isIntegerVar(r) {
+				u = unitFromName(r.Name())
+				if u == unitUnknown {
+					u = unitFromName(fi.Fn.Name())
+				}
+			}
+		}
+	}
+	prog.unitFacts[fi.Fn] = u
+	return u
+}
+
+// isIntegerVar reports whether v has a plain integer type — the
+// carriers of unit-less counts. time.Duration and other named types are
+// excluded: they carry their unit in the type system and belong to
+// cycleunits.
+func isIntegerVar(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	b, ok := types.Unalias(v.Type()).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// cycleTokens / nsTokens are the name tokens declaring each domain.
+var cycleTokens = map[string]bool{"cycle": true, "cycles": true, "cyc": true}
+var nsTokens = map[string]bool{"ns": true, "nanos": true, "nanosecond": true, "nanoseconds": true}
+
+// unitFromName infers a unit from an identifier's name tokens. A name
+// carrying tokens from both domains is ambiguous and stays unknown.
+func unitFromName(name string) unit {
+	hasCyc, hasNs := false, false
+	for _, tok := range nameTokens(name) {
+		if cycleTokens[tok] {
+			hasCyc = true
+		}
+		if nsTokens[tok] {
+			hasNs = true
+		}
+	}
+	switch {
+	case hasCyc && !hasNs:
+		return unitCycles
+	case hasNs && !hasCyc:
+		return unitNs
+	}
+	return unitUnknown
+}
+
+// nameTokens splits an identifier into lowercase tokens at camelCase
+// boundaries, underscores, and digits.
+func nameTokens(name string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		switch {
+		case unicode.IsUpper(r):
+			flush()
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsLetter(r):
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}

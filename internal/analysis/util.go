@@ -22,6 +22,22 @@ func (p *Pass) calleeObject(call *ast.CallExpr) types.Object {
 	return nil
 }
 
+// calleeObjectExpr resolves a bare function reference (an identifier or
+// a selector, as when a declared function is passed as an argument) to
+// its object, or nil.
+func (p *Pass) calleeObjectExpr(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
 // isPkgLevelFunc reports whether obj is a package-level function of the
 // package with the given import path.
 func isPkgLevelFunc(obj types.Object, pkgPath string) bool {

@@ -9,28 +9,54 @@ package batch
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
 
-// Package-level telemetry counters (nil no-ops by default; see
-// internal/obs). Atomic, so concurrent For calls may share them.
-var (
-	obsCalls  *obs.Counter
-	obsInline *obs.Counter
-	obsChunks *obs.Counter
-	obsItems  *obs.Counter
-)
+// counters is one consistent set of fork-join telemetry counters:
+// total For calls, calls that ran inline, worker chunks spawned, and
+// items processed. The whole set is swapped atomically so a For call
+// racing a SetObserver sees either the old recorder's counters or the
+// new one's, never a mix — and never a torn pointer.
+type counters struct {
+	calls  *obs.Counter
+	inline *obs.Counter
+	chunks *obs.Counter
+	items  *obs.Counter
+}
+
+// obsState holds the current counter set. A nil pointer (the default)
+// reads as detached; the nil *obs.Counter methods inside zeroCounters
+// are no-ops behind one branch, so the detached path stays free.
+var obsState atomic.Pointer[counters]
+
+// zeroCounters is the detached set: all-nil counters, all no-ops.
+var zeroCounters counters
+
+// loadCounters returns the current counter set, detached when no
+// observer has been wired.
+func loadCounters() *counters {
+	if c := obsState.Load(); c != nil {
+		return c
+	}
+	return &zeroCounters
+}
 
 // SetObserver wires the fork-join counters to a recorder (nil
-// detaches): total For calls, calls that ran inline, worker chunks
-// spawned, and items processed. Call at harness setup, not concurrently
-// with For traffic.
+// detaches). Safe to call concurrently with For traffic: the counter
+// set is published atomically as a unit.
 func SetObserver(r *obs.Recorder) {
-	obsCalls = r.Counter("batch_calls_total")
-	obsInline = r.Counter("batch_inline_calls_total")
-	obsChunks = r.Counter("batch_chunks_total")
-	obsItems = r.Counter("batch_items_total")
+	if r == nil {
+		obsState.Store(nil)
+		return
+	}
+	obsState.Store(&counters{
+		calls:  r.Counter("batch_calls_total"),
+		inline: r.Counter("batch_inline_calls_total"),
+		chunks: r.Counter("batch_chunks_total"),
+		items:  r.Counter("batch_items_total"),
+	})
 }
 
 // For runs fn over [0, n) split into contiguous [lo, hi) chunks, one per
@@ -42,8 +68,9 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	obsCalls.Inc()
-	obsItems.Add(uint64(n))
+	c := loadCounters()
+	c.calls.Inc()
+	c.items.Add(uint64(n))
 	if minPerWorker < 1 {
 		minPerWorker = 1
 	}
@@ -52,7 +79,7 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 		workers = limit
 	}
 	if workers <= 1 {
-		obsInline.Inc()
+		c.inline.Inc()
 		fn(0, n)
 		return
 	}
@@ -63,7 +90,7 @@ func For(n, minPerWorker int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
-		obsChunks.Inc()
+		c.chunks.Inc()
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()

@@ -17,6 +17,8 @@ var (
 // SetObserver wires the package's codec counters to a recorder (nil
 // detaches). Affects all Codes; call once at harness setup, not
 // concurrently with encode/decode traffic.
+//
+//meccvet:quiescent
 func SetObserver(r *obs.Recorder) {
 	obsEncodes = r.Counter("bch_encodes_total")
 	obsDecodes = r.Counter("bch_decodes_total")
