@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json vet lint lint-baseline fmt paperbench trace-demo fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo fuzz fuzz-short clean
 
 # Pinned staticcheck release for CI; `make lint` uses a local install
 # when one is on PATH and skips it (with a note) otherwise.
@@ -33,6 +33,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson > BENCH_baseline.json
 	@cat BENCH_baseline.json
+
+# Re-run the hot-path benchmarks and diff them against the committed
+# PR-6 reference: per-benchmark deltas on stderr, fresh numbers in
+# BENCH_current.json, nonzero exit when anything is >10% slower. CI
+# runs this as a non-blocking job and uploads BENCH_current.json.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json > BENCH_current.json
 
 vet:
 	$(GO) vet ./...

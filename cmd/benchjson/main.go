@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/line"
 	"repro/internal/memdata"
+	"repro/internal/sched"
 )
 
 // Entry is one benchmark result.
@@ -56,8 +58,9 @@ func randomLine(rng *rand.Rand) line.Line {
 
 func run() error {
 	var (
-		scale = flag.Int("scale", 400, "fig7 scale divisor")
-		seed  = flag.Int64("seed", 1, "fig7 workload seed")
+		scale   = flag.Int("scale", 400, "fig7 scale divisor")
+		seed    = flag.Int64("seed", 1, "fig7 workload seed")
+		compare = flag.String("compare", "", "path to a previous benchjson report: print per-benchmark deltas to stderr and exit nonzero on a >10% time regression")
 	)
 	flag.Parse()
 
@@ -98,6 +101,8 @@ func run() error {
 			}
 		}},
 		{"UpgradeSweep", benchUpgradeSweep},
+		{"SyndromeScreenBatch", benchSyndromeScreenBatch},
+		{"EventWheel", benchEventWheel},
 	}
 
 	rep := Report{
@@ -135,7 +140,81 @@ func run() error {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			return err
+		}
+		if diffReports(os.Stderr, old, rep) {
+			return fmt.Errorf("time regression >%.0f%% vs %s", regressionPct, *compare)
+		}
+	}
+	return nil
+}
+
+// regressionPct is the per-benchmark slowdown beyond which -compare
+// fails the run.
+const regressionPct = 10.0
+
+// loadReport reads a previous benchjson document.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diffReports prints per-benchmark deltas of cur against old and reports
+// whether any shared benchmark (or the Fig. 7 wall time) got more than
+// regressionPct slower. New or vanished benchmarks are noted but never
+// fail the comparison.
+func diffReports(w io.Writer, old, cur Report) bool {
+	prev := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		prev[e.Name] = e
+	}
+	regressed := false
+	fmt.Fprintf(w, "%-22s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range cur.Benchmarks {
+		o, ok := prev[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-22s %14s %14.1f %9s\n", e.Name, "-", e.NsPerOp, "new")
+			continue
+		}
+		delete(prev, e.Name)
+		pct := (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := ""
+		if pct > regressionPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %+8.1f%%%s\n", e.Name, o.NsPerOp, e.NsPerOp, pct, mark)
+		if e.AllocsPerOp > o.AllocsPerOp {
+			fmt.Fprintf(w, "%-22s allocs/op %d -> %d\n", "", o.AllocsPerOp, e.AllocsPerOp)
+		}
+	}
+	for name := range prev {
+		fmt.Fprintf(w, "%-22s %14.1f %14s %9s\n", name, prev[name].NsPerOp, "-", "gone")
+	}
+	if old.Fig7Seconds > 0 && cur.Fig7Seconds > 0 {
+		pct := (cur.Fig7Seconds - old.Fig7Seconds) / old.Fig7Seconds * 100
+		mark := ""
+		if pct > regressionPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-22s %13.2fs %13.2fs %+8.1f%%%s\n", "Fig7", old.Fig7Seconds, cur.Fig7Seconds, pct, mark)
+	}
+	return regressed
 }
 
 // benchUpgradeSweep mirrors internal/memdata's BenchmarkUpgradeSweep:
@@ -169,6 +248,54 @@ func benchUpgradeSweep(b *testing.B) {
 		if _, err := mem.EnterIdle(0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSyndromeScreenBatch mirrors internal/bch's
+// BenchmarkSyndromeScreenBatch: word-sliced clean-screen over a 1K-line
+// batch (ns/op covers the whole batch).
+func benchSyndromeScreenBatch(b *testing.B) {
+	c, err := bch.NewExtended(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	const n = 1024
+	datas := make([]line.Line, n)
+	parities := make([]uint64, n)
+	for i := range datas {
+		datas[i] = randomLine(rng)
+	}
+	c.EncodeBatch(datas, parities)
+	clean := make([]bool, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromeScreenBatch(datas, parities, clean)
+	}
+}
+
+// benchEventWheel mirrors internal/sched's BenchmarkEventWheel: the
+// controller's schedule/advance/pop cadence on a three-event wheel.
+func benchEventWheel(b *testing.B) {
+	w := sched.NewWheel(0, 8)
+	var now uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Schedule(0, now+1560)
+		w.Schedule(1, now+42)
+		w.Schedule(2, now+3)
+		next, _ := w.Next()
+		now = next
+		w.Advance(now)
+		for {
+			if _, ok := w.PopDue(); !ok {
+				break
+			}
+		}
+		w.Cancel(0)
+		w.Cancel(1)
 	}
 }
 

@@ -69,3 +69,58 @@ func TestSmoke(t *testing.T) {
 		t.Error("Fig7 exhibit did not run")
 	}
 }
+
+// TestDiffReports exercises the -compare delta logic without running
+// real benchmarks: only a shared benchmark (or the Fig. 7 wall time)
+// slowing down by more than regressionPct fails the comparison.
+func TestDiffReports(t *testing.T) {
+	old := Report{
+		Benchmarks: []Entry{
+			{Name: "A", NsPerOp: 100},
+			{Name: "B", NsPerOp: 100},
+			{Name: "Gone", NsPerOp: 50},
+		},
+		Fig7Seconds: 10,
+	}
+	cases := []struct {
+		name string
+		cur  Report
+		want bool
+	}{
+		{"improvement", Report{Benchmarks: []Entry{{Name: "A", NsPerOp: 50}, {Name: "B", NsPerOp: 100}}, Fig7Seconds: 5}, false},
+		{"within-tolerance", Report{Benchmarks: []Entry{{Name: "A", NsPerOp: 109}, {Name: "B", NsPerOp: 100}}, Fig7Seconds: 10.9}, false},
+		{"bench-regression", Report{Benchmarks: []Entry{{Name: "A", NsPerOp: 120}, {Name: "B", NsPerOp: 100}}, Fig7Seconds: 10}, true},
+		{"fig7-regression", Report{Benchmarks: []Entry{{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 100}}, Fig7Seconds: 12}, true},
+		{"new-entry-ignored", Report{Benchmarks: []Entry{{Name: "A", NsPerOp: 100}, {Name: "New", NsPerOp: 9999}}, Fig7Seconds: 10}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := diffReports(io.Discard, old, tc.cur); got != tc.want {
+				t.Errorf("diffReports = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadReportRoundTrip writes a report and loads it back.
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := Report{Unit: "ns", Benchmarks: []Entry{{Name: "A", NsPerOp: 42}}, Fig7Seconds: 1.5}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/old.json"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 42 || got.Fig7Seconds != 1.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := loadReport(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("want error for missing file")
+	}
+}

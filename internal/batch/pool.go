@@ -1,0 +1,139 @@
+package batch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// span is one contiguous shard of work shipped to a pool worker.
+type span struct {
+	lo, hi int
+}
+
+// Pool is a set of persistent worker goroutines for repeated fork-join
+// sweeps. Unlike For, which spawns one goroutine and one closure per
+// chunk per call, a Pool starts its workers once at construction and
+// ships [lo, hi) spans to them over per-worker channels, so a steady
+// caller (the per-quantum upgrade sweep) runs with zero allocations —
+// provided the work function itself is a persistent closure reused
+// across calls rather than rebuilt per call.
+//
+// The work function receives the shard index alongside the span, so
+// callers can keep per-worker scratch and accumulators and combine them
+// deterministically after Run returns. Shard boundaries depend only on
+// (n, minPerWorker, worker count), and shard w always runs spans for
+// chunk w, so a caller that sums per-shard results in index order gets
+// bit-identical totals on every run.
+//
+// Run serializes callers internally; a Pool is safe for concurrent use
+// but executes one sweep at a time.
+type Pool struct {
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	workers int
+	spans   []chan span
+	// fn is the sweep body for the Run in progress. It is written before
+	// the span sends and read by workers after the receive, so the
+	// channel send/receive pair orders the accesses.
+	fn func(worker, lo, hi int)
+}
+
+// NewPool starts a pool of the given number of worker goroutines.
+// workers < 1 is clamped to 1. The workers live until Close.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		spans:   make([]chan span, workers),
+	}
+	for w := range p.spans {
+		ch := make(chan span, 1)
+		p.spans[w] = ch
+		go func(w int) {
+			for sp := range ch {
+				p.fn(w, sp.lo, sp.hi)
+				p.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines. The pool must be idle; Run must
+// not be called afterwards.
+func (p *Pool) Close() {
+	for _, ch := range p.spans {
+		close(ch)
+	}
+}
+
+// Run executes fn over [0, n) split into contiguous shards, one per
+// worker, and returns once all shards complete. The shard count is
+// capped by the pool size and by n/minPerWorker (rounded up); a single
+// shard runs inline on the calling goroutine. fn receives the shard
+// index (0-based, dense) and its [lo, hi) range; disjoint ranges mean
+// fn may write per-index outputs without synchronization.
+//
+//meccvet:hotpath
+func (p *Pool) Run(n, minPerWorker int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c := loadCounters()
+	c.calls.Inc()
+	c.items.Add(uint64(n))
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	shards := p.workers
+	if limit := (n + minPerWorker - 1) / minPerWorker; shards > limit {
+		shards = limit
+	}
+	if shards <= 1 {
+		c.inline.Inc()
+		//meccvet:allow hotclosure -- caller-supplied shard body; each caller proves its own body at a hotpath root
+		fn(0, 0, n)
+		return
+	}
+	p.mu.Lock()
+	p.fn = fn
+	chunk := (n + shards - 1) / shards
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.chunks.Inc()
+		p.wg.Add(1)
+		p.spans[w] <- span{lo: lo, hi: hi}
+	}
+	p.wg.Wait()
+	p.fn = nil
+	p.mu.Unlock()
+}
+
+// defaultPool is the shared process-wide pool, sized to GOMAXPROCS at
+// first use.
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the shared process-wide pool, creating it (with
+// GOMAXPROCS workers) on first use. Callers share its serialization:
+// concurrent Run calls queue behind one another.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() {
+		defaultPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}

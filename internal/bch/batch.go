@@ -30,6 +30,27 @@ func (c *Code) EncodeBatch(data []line.Line, parityOut []uint64) {
 	})
 }
 
+// SyndromeScreenBatch screens each (data[i], parity[i]) pair for
+// cleanliness — clean[i] is set exactly when Decode would return a zero
+// Result — fanning the work out over up to GOMAXPROCS workers. The
+// screen is the word-sliced re-encode of ScreenClean, so a sweep can
+// reserve the scalar decoder for the rare lines whose screen fails. It
+// panics if the slice lengths differ.
+//
+//meccvet:hotpath
+func (c *Code) SyndromeScreenBatch(data []line.Line, parity []uint64, clean []bool) {
+	if len(parity) != len(data) || len(clean) != len(data) {
+		// invariant: callers pass parallel slices (documented contract).
+		panic("bch: SyndromeScreenBatch slice lengths differ")
+	}
+	//meccvet:allow hotpath,hotclosure -- one closure per batch call, amortized over the lines
+	batch.For(len(data), minLinesPerWorker, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			clean[i] = c.ScreenClean(data[i], parity[i])
+		}
+	})
+}
+
 // DecodeBatch decodes each (data[i], parity[i]) pair into out[i] and
 // results[i], fanning the work out over up to GOMAXPROCS workers (small
 // batches run inline). out may alias data — each element is read before

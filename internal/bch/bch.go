@@ -60,9 +60,16 @@ type Code struct {
 	gen        gf2.Poly2
 	// encTable[b] is the generator-polynomial remainder contribution of
 	// data byte value b, enabling byte-at-a-time encoding when parity
-	// fits in 64 bits.
+	// fits in 64 bits (the serial-LFSR reference path).
 	encTable *[256]uint64
 	genMask  uint64
+	// encPos[p][v] is the remainder contribution of data byte p (bits
+	// 8p..8p+7 of the line, codeword exponents parityBits+8p..+8p+7)
+	// holding value v. Remainders are GF(2)-linear in the data, so the
+	// full parity is the XOR of 64 independent table lookups — unlike the
+	// LFSR register walk, the lookups carry no loop-to-loop dependency,
+	// so the encoder runs at memory-port speed.
+	encPos *[64][256]uint64
 	// Byte-at-a-time syndrome tables: for syndrome j (1-based),
 	// synTable[j-1][v] evaluates the byte polynomial v at alpha^j and
 	// synMul[j-1] = alpha^(8j) advances the Horner accumulator by one
@@ -197,6 +204,34 @@ func (c *Code) buildEncTable() {
 		tbl[b] = reg
 	}
 	c.encTable = &tbl
+	c.buildEncPosTables()
+}
+
+// buildEncPosTables precomputes the position-indexed remainder tables:
+// encPos[p][v] = (v(x) * x^(parityBits+8p)) mod g(x). Monomial
+// remainders are generated incrementally (multiply by x, reduce), and
+// each byte table is filled by the lowest-set-bit subset trick, so
+// construction is O(dataBits + 64*256).
+func (c *Code) buildEncPosTables() {
+	deg := c.parityBits
+	g := c.genMask | uint64(1)<<deg
+	// pow = x^(parityBits) mod g to start; advance one exponent per step.
+	pow := c.genMask
+	var tbl [64][256]uint64
+	for p := 0; p < 64; p++ {
+		for b := 0; b < 8; b++ {
+			bitpow := pow
+			for v := 1 << b; v < 1<<(b+1); v++ {
+				tbl[p][v] = tbl[p][v-1<<b] ^ bitpow
+			}
+			// pow *= x mod g.
+			pow <<= 1
+			if pow>>deg&1 == 1 {
+				pow ^= g
+			}
+		}
+	}
+	c.encPos = &tbl
 }
 
 // T returns the correction capability.
@@ -230,6 +265,40 @@ func (c *Code) FieldM() int { return c.field.M() }
 //meccvet:hotpath
 func (c *Code) Encode(data line.Line) uint64 {
 	obsEncodes.Inc()
+	reg := c.encodeRemainder(&data)
+	if c.extended {
+		reg |= c.overallParity(data, reg) << c.parityBits
+	}
+	return reg
+}
+
+// encodeRemainder evaluates the base parity (the generator-polynomial
+// remainder of the data) via the position-indexed tables: eight
+// independent lookups per word, XORed together. Byte p of the line is
+// word p/8 shifted by 8*(p%8); codeword exponents rise with the byte
+// index, matching the encPos construction.
+//
+//meccvet:hotpath
+func (c *Code) encodeRemainder(data *line.Line) uint64 {
+	var reg uint64
+	for w, word := range data {
+		t := c.encPos
+		base := w * 8
+		reg ^= t[base][byte(word)] ^
+			t[base+1][byte(word>>8)] ^
+			t[base+2][byte(word>>16)] ^
+			t[base+3][byte(word>>24)] ^
+			t[base+4][byte(word>>32)] ^
+			t[base+5][byte(word>>40)] ^
+			t[base+6][byte(word>>48)] ^
+			t[base+7][byte(word>>56)]
+	}
+	return reg
+}
+
+// encodeLFSR is the serial byte-at-a-time LFSR encoder, kept as the
+// reference for the positional-table equivalence test.
+func (c *Code) encodeLFSR(data line.Line) uint64 {
 	deg := c.parityBits
 	top := uint64(1) << (deg - 1)
 	regMask := (top << 1) - 1
@@ -250,6 +319,27 @@ func (c *Code) Encode(data line.Line) uint64 {
 		reg |= c.overallParity(data, reg) << deg
 	}
 	return reg
+}
+
+// ScreenClean reports whether (data, parity) is a clean received word:
+// every syndrome zero and, for extended codes, the overall parity bit
+// matching — exactly the condition under which Decode returns a zero
+// Result. The screen rides the systematic-code identity "all syndromes
+// vanish iff g divides the received polynomial iff re-encoding the data
+// reproduces the stored base parity", so it costs one table encode and
+// a compare instead of 2t Horner accumulators. Parity bits above
+// ParityBits() are ignored, as in Decode.
+//
+//meccvet:hotpath
+func (c *Code) ScreenClean(data line.Line, parity uint64) bool {
+	base := parity & (uint64(1)<<c.parityBits - 1)
+	if c.encodeRemainder(&data) != base {
+		return false
+	}
+	if c.extended {
+		return c.overallParity(data, base) == (parity>>c.parityBits)&1
+	}
+	return true
 }
 
 // overallParity returns the XOR of all data and base-parity bits.

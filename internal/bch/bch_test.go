@@ -553,3 +553,137 @@ func BenchmarkSyndromesBitwise(b *testing.B) {
 		_ = c.syndromesBitwise(data, parity)
 	}
 }
+
+// TestEncodePositionalMatchesLFSR pins the position-indexed table encoder
+// to the serial LFSR reference across every supported code.
+func TestEncodePositionalMatchesLFSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for tcap := 1; tcap <= MaxT; tcap++ {
+		for _, ext := range []bool{false, true} {
+			c := mustCode(t, tcap, ext)
+			for trial := 0; trial < 50; trial++ {
+				data := randLine(rng)
+				if got, want := c.Encode(data), c.encodeLFSR(data); got != want {
+					t.Fatalf("t=%d ext=%v: positional %#x != LFSR %#x", tcap, ext, got, want)
+				}
+			}
+			var zero line.Line
+			if got, want := c.Encode(zero), c.encodeLFSR(zero); got != want {
+				t.Fatalf("t=%d ext=%v zero line: positional %#x != LFSR %#x", tcap, ext, got, want)
+			}
+		}
+	}
+}
+
+// TestScreenCleanMatchesDecode checks the screen's contract: true exactly
+// when Decode returns a zero Result (no correction, no detection).
+func TestScreenCleanMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for tcap := 1; tcap <= MaxT; tcap++ {
+		for _, ext := range []bool{false, true} {
+			c := mustCode(t, tcap, ext)
+			for trial := 0; trial < 40; trial++ {
+				data := randLine(rng)
+				parity := c.Encode(data)
+				// Junk above the stored width must be ignored, as in Decode.
+				parity |= rng.Uint64() << c.ParityBits()
+				nErr := rng.Intn(tcap + 2)
+				cd, cp := corruptWord(rng, c, data, parity, nErr)
+				_, res := c.Decode(cd, cp)
+				wantClean := res.CorrectedBits == 0 && !res.Uncorrectable
+				if got := c.ScreenClean(cd, cp); got != wantClean {
+					t.Fatalf("t=%d ext=%v nErr=%d: ScreenClean=%v, Decode result %+v", tcap, ext, nErr, got, res)
+				}
+			}
+		}
+	}
+}
+
+// TestScreenCleanExtensionBit: a flip confined to the extension bit must
+// fail the screen (Decode reports a correction there).
+func TestScreenCleanExtensionBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	c := mustCode(t, 6, true)
+	data := randLine(rng)
+	parity := c.Encode(data)
+	flipped := parity ^ (uint64(1) << c.parityBits)
+	if !c.ScreenClean(data, parity) {
+		t.Fatal("clean codeword failed screen")
+	}
+	if c.ScreenClean(data, flipped) {
+		t.Fatal("extension-bit flip passed screen")
+	}
+}
+
+// TestEncodeScreenZeroAllocs proves the table encoder and the screen are
+// allocation-free, the property the sharded sweep relies on.
+func TestEncodeScreenZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	c := mustCode(t, 6, true)
+	data := randLine(rng)
+	parity := c.Encode(data)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = c.Encode(data)
+		_ = c.ScreenClean(data, parity)
+	}); n != 0 {
+		t.Fatalf("Encode+ScreenClean allocate %v per run, want 0", n)
+	}
+}
+
+// TestSyndromeScreenBatchMatchesScalar pins the batch screen to scalar
+// ScreenClean over a mixed clean/dirty population.
+func TestSyndromeScreenBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	c := mustCode(t, 6, true)
+	const n = 300
+	datas := make([]line.Line, n)
+	parities := make([]uint64, n)
+	for i := range datas {
+		datas[i] = randLine(rng)
+		parities[i] = c.Encode(datas[i])
+		if rng.Intn(3) == 0 {
+			datas[i], parities[i] = corruptWord(rng, c, datas[i], parities[i], 1+rng.Intn(7))
+		}
+	}
+	clean := make([]bool, n)
+	c.SyndromeScreenBatch(datas, parities, clean)
+	for i := range datas {
+		if want := c.ScreenClean(datas[i], parities[i]); clean[i] != want {
+			t.Fatalf("line %d: batch %v, scalar %v", i, clean[i], want)
+		}
+	}
+}
+
+func TestSyndromeScreenBatchLengthMismatchPanics(t *testing.T) {
+	c := mustCode(t, 6, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched slice lengths")
+		}
+	}()
+	c.SyndromeScreenBatch(make([]line.Line, 2), make([]uint64, 1), make([]bool, 2))
+}
+
+// BenchmarkSyndromeScreenBatch measures the per-line screening cost on an
+// all-clean population, the common case during an upgrade sweep.
+func BenchmarkSyndromeScreenBatch(b *testing.B) {
+	c, err := NewExtended(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	const n = 1024
+	datas := make([]line.Line, n)
+	parities := make([]uint64, n)
+	for i := range datas {
+		datas[i] = randLine(rng)
+	}
+	c.EncodeBatch(datas, parities)
+	clean := make([]bool, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromeScreenBatch(datas, parities, clean)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/line")
+}

@@ -3,6 +3,7 @@ package dram
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/checker"
@@ -122,10 +123,14 @@ type rankState struct {
 // checks; the memory controller owns all policy. Bank ids are global
 // (rank*Banks + bank). Channel is not safe for concurrent use.
 type Channel struct {
-	cfg   Config
-	now   uint64
-	banks []bankState
-	ranks []rankState
+	cfg Config
+	dec decodeParams
+	// bankShift is log2(Banks): rankIndex runs in every timing check
+	// and a shift beats the integer division.
+	bankShift uint
+	now       uint64
+	banks     []bankState
+	ranks     []rankState
 	// Channel-level constraints.
 	nextCol      uint64 // tCCD for RD/WR
 	busFreeAt    uint64 // data bus occupancy
@@ -164,12 +169,21 @@ func NewChannel(cfg Config) (*Channel, error) {
 	}
 	return &Channel{
 		cfg:          cfg,
+		dec:          cfg.decodeParams(),
+		bankShift:    uint(bits.TrailingZeros64(uint64(cfg.Banks))),
 		banks:        make([]bankState, cfg.TotalBanks()),
 		ranks:        make([]rankState, cfg.RankCount()),
 		lastDataRank: -1,
 		state:        StateActiveStandby,
 	}, nil
 }
+
+// Decode maps a line address to rank/bank/row/column using parameters
+// precomputed at construction; identical to Config.Decode but without
+// the per-call Config copies.
+//
+//meccvet:hotpath
+func (ch *Channel) Decode(lineAddr uint64) Coord { return ch.dec.decode(lineAddr) }
 
 // Config returns the channel configuration.
 func (ch *Channel) Config() Config { return ch.cfg }
@@ -278,6 +292,36 @@ func (ch *Channel) AdvanceTo(cycle uint64) {
 	ch.now = cycle
 }
 
+// SkipTo fast-forwards through a stretch the controller has proven
+// quiescent: no commands issue, no state transitions occur, and the
+// distributed auto-refresh schedule keeps running at its normal rate on
+// the far side. Residency is accounted to the current state exactly as
+// repeated Ticks would. Unlike AdvanceTo, the span is NOT reported to
+// the refresh checker as excluded: these cycles stay inside the
+// auto-refresh accounting window, because REF commands continue to be
+// issued for them on schedule. Correspondingly no self-refresh pulses
+// are credited, so SkipTo is legal only in the externally-refreshed
+// states (active standby and the two power-down states); anything else
+// returns ErrBadState.
+func (ch *Channel) SkipTo(cycle uint64) error {
+	if cycle <= ch.now {
+		return nil
+	}
+	delta := cycle - ch.now
+	switch ch.state {
+	case StateActiveStandby:
+		ch.stats.CyclesActiveStandby += delta
+	case StatePrechargePD:
+		ch.stats.CyclesPrechargePD += delta
+	case StateActivePD:
+		ch.stats.CyclesActivePD += delta
+	default:
+		return fmt.Errorf("%w: SkipTo from %v", ErrBadState, ch.state)
+	}
+	ch.now = cycle
+	return nil
+}
+
 func (ch *Channel) commandsAllowed() bool {
 	return ch.state == StateActiveStandby && ch.now >= ch.nextCmdAt
 }
@@ -300,9 +344,15 @@ func (ch *Channel) OpenRow(bank int) int {
 	return b.openRow
 }
 
+// rankIndex returns the rank owning a global bank id (RankOfBank
+// without the Config copy — this runs in every timing check).
+//
+//meccvet:hotpath
+func (ch *Channel) rankIndex(bank int) int { return bank >> ch.bankShift }
+
 // rankOf returns the rank state owning a global bank id.
 func (ch *Channel) rankOf(bank int) *rankState {
-	return &ch.ranks[ch.cfg.RankOfBank(bank)]
+	return &ch.ranks[ch.rankIndex(bank)]
 }
 
 // fawOK reports whether a new ACT at cycle `now` keeps at most four ACTs
@@ -328,7 +378,7 @@ func (ch *Channel) ACT(bank, row int) error {
 	if !ch.CanACT(bank) {
 		return fmt.Errorf("%w: ACT bank %d at %d", errFor(ch, bank), bank, ch.now)
 	}
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	b := &ch.banks[bank]
 	rk := ch.rankOf(bank)
 	b.rowOpen = true
@@ -358,9 +408,9 @@ func (ch *Channel) busFreeFor(rank int) uint64 {
 // CanRD reports whether a read to the bank's open row may issue now.
 func (ch *Channel) CanRD(bank, row int) bool {
 	b := &ch.banks[bank]
-	rank := ch.cfg.RankOfBank(bank)
+	rank := ch.rankIndex(bank)
 	rk := &ch.ranks[rank]
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	dataStart := ch.now + uint64(t.CL)
 	return ch.commandsAllowed() && b.rowOpen && b.openRow == row &&
 		ch.now >= b.nextRD && ch.now >= ch.nextCol &&
@@ -374,11 +424,11 @@ func (ch *Channel) RD(bank, row int) (uint64, error) {
 	if !ch.CanRD(bank, row) {
 		return 0, fmt.Errorf("%w: RD bank %d at %d", errFor(ch, bank), bank, ch.now)
 	}
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	b := &ch.banks[bank]
 	dataEnd := ch.now + uint64(t.CL) + uint64(t.BL)
 	ch.busFreeAt = dataEnd
-	ch.lastDataRank = ch.cfg.RankOfBank(bank)
+	ch.lastDataRank = ch.rankIndex(bank)
 	ch.nextCol = ch.now + uint64(t.TCCD)
 	b.nextPRE = maxU64(b.nextPRE, ch.now+uint64(t.TRTP))
 	ch.stats.NRD++
@@ -389,8 +439,8 @@ func (ch *Channel) RD(bank, row int) (uint64, error) {
 // CanWR reports whether a write to the bank's open row may issue now.
 func (ch *Channel) CanWR(bank, row int) bool {
 	b := &ch.banks[bank]
-	rank := ch.cfg.RankOfBank(bank)
-	t := ch.cfg.Timing
+	rank := ch.rankIndex(bank)
+	t := &ch.cfg.Timing
 	dataStart := ch.now + uint64(t.CWL)
 	return ch.commandsAllowed() && b.rowOpen && b.openRow == row &&
 		ch.now >= b.nextWR && ch.now >= ch.nextCol &&
@@ -402,9 +452,9 @@ func (ch *Channel) WR(bank, row int) (uint64, error) {
 	if !ch.CanWR(bank, row) {
 		return 0, fmt.Errorf("%w: WR bank %d at %d", errFor(ch, bank), bank, ch.now)
 	}
-	t := ch.cfg.Timing
+	t := &ch.cfg.Timing
 	b := &ch.banks[bank]
-	rank := ch.cfg.RankOfBank(bank)
+	rank := ch.rankIndex(bank)
 	dataEnd := ch.now + uint64(t.CWL) + uint64(t.BL)
 	ch.busFreeAt = dataEnd
 	ch.lastDataRank = rank
@@ -414,6 +464,67 @@ func (ch *Channel) WR(bank, row int) (uint64, error) {
 	ch.stats.NWR++
 	ch.record(CmdWR, bank, row)
 	return dataEnd, nil
+}
+
+// The Earliest* queries return the first cycle at which the
+// corresponding command could issue, assuming the channel receives no
+// commands in between (bank and bus state static). Each mirrors its
+// Can* predicate exactly: with no intervening commands, Can* holds at
+// cycle t iff t >= Earliest*. The controller's busy-period fast-forward
+// uses them to find the next scheduling edge; rowOpen/row-match
+// preconditions are the caller's job, and all assume active standby
+// (other states never fast-forward).
+
+// EarliestRD mirrors CanRD's timing terms.
+//
+//meccvet:hotpath
+func (ch *Channel) EarliestRD(bank int) uint64 {
+	b := &ch.banks[bank]
+	rank := ch.rankIndex(bank)
+	rk := &ch.ranks[rank]
+	t := &ch.cfg.Timing
+	at := maxU64(ch.nextCmdAt, maxU64(b.nextRD, ch.nextCol))
+	if bus := ch.busFreeFor(rank); bus > uint64(t.CL) {
+		at = maxU64(at, bus-uint64(t.CL))
+	}
+	if rk.wrDataEnd != 0 {
+		at = maxU64(at, rk.wrDataEnd+uint64(t.TWTR))
+	}
+	return at
+}
+
+// EarliestWR mirrors CanWR's timing terms.
+//
+//meccvet:hotpath
+func (ch *Channel) EarliestWR(bank int) uint64 {
+	b := &ch.banks[bank]
+	rank := ch.rankIndex(bank)
+	t := &ch.cfg.Timing
+	at := maxU64(ch.nextCmdAt, maxU64(b.nextWR, ch.nextCol))
+	if bus := ch.busFreeFor(rank); bus > uint64(t.CWL) {
+		at = maxU64(at, bus-uint64(t.CWL))
+	}
+	return at
+}
+
+// EarliestACT mirrors CanACT's timing terms (tRC, tRRD, tFAW).
+//
+//meccvet:hotpath
+func (ch *Channel) EarliestACT(bank int) uint64 {
+	b := &ch.banks[bank]
+	rk := ch.rankOf(bank)
+	at := maxU64(ch.nextCmdAt, maxU64(b.nextACT, rk.nextACT))
+	if rk.actCount >= uint64(len(rk.actWindow)) {
+		at = maxU64(at, rk.actWindow[rk.actWindowIdx]+uint64(ch.cfg.Timing.TFAW))
+	}
+	return at
+}
+
+// EarliestPRE mirrors CanPRE's timing terms (tRAS, tRTP, tWR).
+//
+//meccvet:hotpath
+func (ch *Channel) EarliestPRE(bank int) uint64 {
+	return maxU64(ch.nextCmdAt, ch.banks[bank].nextPRE)
 }
 
 // CanPRE reports whether the bank may precharge now.

@@ -236,33 +236,65 @@ type Coord struct {
 	Rank, Bank, Row, Col int
 }
 
+// decodeParams caches the shifts and masks Decode derives from the
+// geometry: address decoding runs once per enqueued request, and
+// re-deriving them through Config's value-receiver helpers copies the
+// whole ~400-byte Config several times per call. Channel precomputes
+// one of these at construction.
+type decodeParams struct {
+	colBits, bankBits, rankBits, rowBits int
+	linesPerRow, banks, ranks, rowsPerBank uint64
+	totalBanks                             uint64
+	banksPerRank                           int
+	mapping                                AddressMapping
+}
+
+func (c *Config) decodeParams() decodeParams {
+	return decodeParams{
+		colBits:      bits.TrailingZeros64(uint64(c.LinesPerRow())),
+		bankBits:     bits.TrailingZeros64(uint64(c.Banks)),
+		rankBits:     bits.TrailingZeros64(uint64(c.RankCount())),
+		rowBits:      bits.TrailingZeros64(uint64(c.RowsPerBank)),
+		linesPerRow:  uint64(c.LinesPerRow()),
+		banks:        uint64(c.Banks),
+		ranks:        uint64(c.RankCount()),
+		rowsPerBank:  uint64(c.RowsPerBank),
+		totalBanks:   uint64(c.TotalBanks()),
+		banksPerRank: c.Banks,
+		mapping:      c.Mapping,
+	}
+}
+
+//meccvet:hotpath
+func (p *decodeParams) decode(lineAddr uint64) Coord {
+	col := int(lineAddr & (p.linesPerRow - 1))
+	switch p.mapping {
+	case MapBankRowCol:
+		row := int((lineAddr >> p.colBits) % p.rowsPerBank)
+		global := int((lineAddr >> (p.colBits + p.rowBits)) & (p.totalBanks - 1))
+		return Coord{Rank: global / p.banksPerRank, Bank: global, Row: row, Col: col}
+	case MapRowXORBankCol:
+		bank := int((lineAddr >> p.colBits) & (p.banks - 1))
+		rank := int((lineAddr >> (p.colBits + p.bankBits)) & (p.ranks - 1))
+		row := int((lineAddr >> (p.colBits + p.bankBits + p.rankBits)) % p.rowsPerBank)
+		bank ^= row & (p.banksPerRank - 1)
+		return Coord{Rank: rank, Bank: rank*p.banksPerRank + bank, Row: row, Col: col}
+	default: // MapRowBankCol
+		bank := int((lineAddr >> p.colBits) & (p.banks - 1))
+		rank := int((lineAddr >> (p.colBits + p.bankBits)) & (p.ranks - 1))
+		row := int((lineAddr >> (p.colBits + p.bankBits + p.rankBits)) % p.rowsPerBank)
+		return Coord{Rank: rank, Bank: rank*p.banksPerRank + bank, Row: row, Col: col}
+	}
+}
+
 // Decode maps a line address to its rank/bank/row/column per the
 // configured address-interleaving policy. Rank bits sit directly above
 // the bank bits, so consecutive row-sized chunks rotate through every
-// bank of every rank before the row advances.
+// bank of every rank before the row advances. Hot callers should prefer
+// Channel.Decode, which runs off precomputed parameters.
 func (c Config) Decode(lineAddr uint64) Coord {
-	colBits := bits.TrailingZeros64(uint64(c.LinesPerRow()))
-	bankBits := bits.TrailingZeros64(uint64(c.Banks))
-	rankBits := bits.TrailingZeros64(uint64(c.RankCount()))
-	col := int(lineAddr & (uint64(c.LinesPerRow()) - 1))
-	switch c.Mapping {
-	case MapBankRowCol:
-		rowBits := bits.TrailingZeros64(uint64(c.RowsPerBank))
-		row := int((lineAddr >> colBits) % uint64(c.RowsPerBank))
-		global := int((lineAddr >> (colBits + rowBits)) & (uint64(c.TotalBanks()) - 1))
-		return Coord{Rank: c.RankOfBank(global), Bank: global, Row: row, Col: col}
-	case MapRowXORBankCol:
-		bank := int((lineAddr >> colBits) & (uint64(c.Banks) - 1))
-		rank := int((lineAddr >> (colBits + bankBits)) & (uint64(c.RankCount()) - 1))
-		row := int((lineAddr >> (colBits + bankBits + rankBits)) % uint64(c.RowsPerBank))
-		bank ^= row & (c.Banks - 1)
-		return Coord{Rank: rank, Bank: rank*c.Banks + bank, Row: row, Col: col}
-	default: // MapRowBankCol
-		bank := int((lineAddr >> colBits) & (uint64(c.Banks) - 1))
-		rank := int((lineAddr >> (colBits + bankBits)) & (uint64(c.RankCount()) - 1))
-		row := int((lineAddr >> (colBits + bankBits + rankBits)) % uint64(c.RowsPerBank))
-		return Coord{Rank: rank, Bank: rank*c.Banks + bank, Row: row, Col: col}
-	}
+	p := c.decodeParams()
+	return p.decode(lineAddr)
 }
 
 // RegionOf returns the index of the lineAddr's region when memory is

@@ -319,3 +319,75 @@ func TestCodecCapabilityMetadata(t *testing.T) {
 		t.Errorf("morphable codecs: weak=%s strong=%s", m.Weak().Name(), m.Strong().Name())
 	}
 }
+
+// TestScreenersMatchDecode: for every codec that offers the fast screen,
+// ScreenClean must be true exactly when Decode returns a zero Result —
+// on clean, singly-, doubly- and multiply-corrupted lines, with junk in
+// the check bits above the stored width.
+func TestScreenersMatchDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := c.(Screener)
+		if !ok {
+			t.Fatalf("%s: no Screener implementation", name)
+		}
+		for trial := 0; trial < 60; trial++ {
+			data := randLine(rng)
+			check := c.Encode(data)
+			if w := c.StorageBits(); w < 64 {
+				check |= rng.Uint64() << w
+			}
+			for _, flips := range []int{0, 1, 2, 5} {
+				cd := data
+				for f := 0; f < flips; f++ {
+					cd = cd.FlipBit(rng.Intn(line.Bits))
+				}
+				out, res := c.Decode(cd, check)
+				wantClean := res.CorrectedBits == 0 && !res.Uncorrectable && out == cd
+				if got := s.ScreenClean(cd, check); got != wantClean {
+					t.Fatalf("%s flips=%d: ScreenClean=%v, Decode %+v", name, flips, got, res)
+				}
+			}
+		}
+	}
+}
+
+// TestScreenWeakClean pins the morphable weak screen: true only for
+// pristine weak-mode lines, false on mode-bit damage, data damage,
+// check damage or strong mode.
+func TestScreenWeakClean(t *testing.T) {
+	m, err := NewDefaultMorphable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 100; trial++ {
+		data := randLine(rng)
+		weakSpare := m.Encode(data, ModeWeak)
+		if !m.ScreenWeakClean(data, weakSpare) {
+			t.Fatal("pristine weak line failed screen")
+		}
+		if m.ScreenWeakClean(data, m.Encode(data, ModeStrong)) {
+			t.Fatal("strong line passed weak screen")
+		}
+		if m.ScreenWeakClean(data, weakSpare^1) {
+			t.Fatal("mode-bit flip passed screen")
+		}
+		if m.ScreenWeakClean(data.FlipBit(rng.Intn(line.Bits)), weakSpare) {
+			t.Fatal("data flip passed screen")
+		}
+		if m.ScreenWeakClean(data, weakSpare^(1<<(ModeBits+rng.Intn(m.Weak().StorageBits())))) {
+			t.Fatal("check flip passed screen")
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		data := line.Line{1, 2, 3}
+		_ = m.ScreenWeakClean(data, m.Encode(data, ModeWeak))
+	}); n != 0 {
+		t.Fatalf("ScreenWeakClean+Encode allocate %v per run, want 0", n)
+	}
+}

@@ -62,6 +62,10 @@ type DecodeEvent struct {
 type Morphable struct {
 	weak   Codec
 	strong Codec
+	// weakScreen is the weak codec's fast screen when it offers one
+	// (resolved once at construction so the sweep hot loop avoids the
+	// per-line type assertion), nil otherwise.
+	weakScreen Screener
 }
 
 // NewMorphable builds the morphable layout over the given codecs. Both
@@ -73,7 +77,9 @@ func NewMorphable(weak, strong Codec) (*Morphable, error) {
 				ErrTooWide, c.Name(), c.StorageBits(), CodeBits)
 		}
 	}
-	return &Morphable{weak: weak, strong: strong}, nil
+	m := &Morphable{weak: weak, strong: strong}
+	m.weakScreen, _ = weak.(Screener)
+	return m, nil
 }
 
 // NewDefaultMorphable builds the paper's configuration: line-granularity
@@ -166,6 +172,23 @@ func (m *Morphable) DecodeBatch(data []line.Line, spare []uint64, out []line.Lin
 			out[i], evs[i] = m.Decode(data[i], spare[i])
 		}
 	})
+}
+
+// ScreenWeakClean reports whether a stored line is a pristine weak-mode
+// codeword: all four mode replicas zero and the weak code's screen
+// clean — exactly the condition under which Decode resolves to
+// {Mode: ModeWeak, ModeBitErrors: 0, Result: zero}. It returns false
+// (conservatively forcing the full Decode) when the weak codec offers
+// no Screener. The upgrade sweep runs this screen first and drops to
+// the scalar decoder only for the rare lines that fail it.
+//
+//meccvet:hotpath
+func (m *Morphable) ScreenWeakClean(data line.Line, spare uint64) bool {
+	if m.weakScreen == nil || int(spare)&((1<<ModeBits)-1) != 0 {
+		return false
+	}
+	//meccvet:allow hotclosure -- screener fixed at construction; all concrete ScreenClean implementations are allocation-free hotpath roots
+	return m.weakScreen.ScreenClean(data, spare>>ModeBits)
 }
 
 // Decode resolves the mode of a stored line and decodes it with the

@@ -35,6 +35,16 @@ type SECDED struct {
 	n         int // codeword length without the parity bit
 	dataPos   []uint32
 	posToData []int32 // codeword position -> data index, -1 for check bits
+	// masks holds one bit-sliced selector per check bit: row j (stride
+	// maskStride words) has bit i set when data bit i contributes to
+	// syndrome bit j, i.e. bit j of dataPos[i] is set. Syndrome bit j is
+	// then the parity of the fold-XOR of data AND row j — a handful of
+	// word operations instead of a walk over every data bit.
+	masks      []uint64
+	maskStride int
+	// lastMask zeroes the slack bits of the last data word, so popcounts
+	// over whole words match the bit-serial walk that stops at dataBits.
+	lastMask uint64
 }
 
 // NewSECDED constructs a SECDED code for the given number of data bits.
@@ -66,7 +76,26 @@ func NewSECDED(dataBits int) (*SECDED, error) {
 		s.posToData[pos] = int32(idx)
 		idx++
 	}
+	s.buildMasks()
 	return s, nil
+}
+
+// buildMasks derives the bit-sliced syndrome selectors from dataPos.
+func (s *SECDED) buildMasks() {
+	s.maskStride = s.wordsNeeded()
+	s.masks = make([]uint64, s.checkBits*s.maskStride)
+	for i, pos := range s.dataPos {
+		for j := 0; j < s.checkBits; j++ {
+			if pos>>uint(j)&1 == 1 {
+				s.masks[j*s.maskStride+i/64] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	if tail := uint(s.dataBits) & 63; tail != 0 {
+		s.lastMask = (uint64(1) << tail) - 1
+	} else {
+		s.lastMask = ^uint64(0)
+	}
 }
 
 // DataBits returns the number of protected data bits.
@@ -84,14 +113,36 @@ func flipBit(v []uint64, i int) { v[i>>6] ^= 1 << (uint(i) & 63) }
 
 func (s *SECDED) wordsNeeded() int { return (s.dataBits + 63) / 64 }
 
-// Encode computes the check word for data, given as ceil(dataBits/64)
-// little-endian words. Layout of the returned word: bits [0,checkBits) are
-// the Hamming check bits (bit j covers positions with bit j set), bit
-// checkBits is the overall parity over data and check bits.
-func (s *SECDED) Encode(data []uint64) (uint64, error) {
-	if len(data) != s.wordsNeeded() {
-		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+// syndromeOf evaluates the Hamming syndrome and the data popcount in one
+// word-parallel pass: each syndrome bit is the parity of the fold-XOR of
+// the data words under its bit-sliced mask. Equivalent to walking every
+// data bit through dataPos (see syndromeBitSerial, the retained
+// reference), at a fraction of the cost.
+//
+//meccvet:hotpath
+func (s *SECDED) syndromeOf(data []uint64) (uint32, int) {
+	last := len(data) - 1
+	ones := 0
+	for w := 0; w < last; w++ {
+		ones += bits.OnesCount64(data[w])
 	}
+	ones += bits.OnesCount64(data[last] & s.lastMask)
+	var synd uint32
+	stride := s.maskStride
+	for j := 0; j < s.checkBits; j++ {
+		row := s.masks[j*stride : (j+1)*stride]
+		var acc uint64
+		for w := range row {
+			acc ^= data[w] & row[w]
+		}
+		synd |= uint32(bits.OnesCount64(acc)&1) << uint(j)
+	}
+	return synd, ones
+}
+
+// syndromeBitSerial is the reference bit-serial syndrome walk, kept for
+// the equivalence property test.
+func (s *SECDED) syndromeBitSerial(data []uint64) (uint32, int) {
 	var synd uint32
 	ones := 0
 	for i := 0; i < s.dataBits; i++ {
@@ -100,10 +151,42 @@ func (s *SECDED) Encode(data []uint64) (uint64, error) {
 			ones++
 		}
 	}
+	return synd, ones
+}
+
+// Encode computes the check word for data, given as ceil(dataBits/64)
+// little-endian words. Layout of the returned word: bits [0,checkBits) are
+// the Hamming check bits (bit j covers positions with bit j set), bit
+// checkBits is the overall parity over data and check bits.
+func (s *SECDED) Encode(data []uint64) (uint64, error) {
+	if len(data) != s.wordsNeeded() {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+	}
+	synd, ones := s.syndromeOf(data)
 	check := uint64(synd)
 	ones += bits.OnesCount32(synd)
 	parity := uint64(ones) & 1
 	return check | parity<<s.checkBits, nil
+}
+
+// ScreenClean reports whether (data, check) is a clean stored codeword:
+// zero syndrome and matching overall parity, exactly the condition under
+// which Decode returns a zero Result. It is the allocation-free fast
+// screen the batched upgrade sweep runs before falling back to Decode;
+// check bits above the stored width are ignored, as in Decode. Inputs of
+// the wrong length screen as not-clean.
+//
+//meccvet:hotpath
+func (s *SECDED) ScreenClean(data []uint64, check uint64) bool {
+	if len(data) != s.wordsNeeded() {
+		return false
+	}
+	synd, ones := s.syndromeOf(data)
+	if synd != uint32(check&((1<<s.checkBits)-1)) {
+		return false
+	}
+	ones += bits.OnesCount32(synd)
+	return uint64(ones)&1 == (check>>s.checkBits)&1
 }
 
 // Decode verifies data against the stored check word, correcting a single
@@ -115,14 +198,7 @@ func (s *SECDED) Decode(data []uint64, check uint64) (Result, error) {
 	storedParity := (check >> s.checkBits) & 1
 	storedCheck := uint32(check & ((1 << s.checkBits) - 1))
 
-	var synd uint32
-	ones := 0
-	for i := 0; i < s.dataBits; i++ {
-		if getBit(data, i) == 1 {
-			synd ^= s.dataPos[i]
-			ones++
-		}
-	}
+	synd, ones := s.syndromeOf(data)
 	synd ^= storedCheck
 	ones += bits.OnesCount32(storedCheck)
 	parityErr := (uint64(ones)&1 != storedParity)

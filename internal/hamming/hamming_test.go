@@ -248,3 +248,98 @@ func BenchmarkEncode512(b *testing.B) {
 		}
 	}
 }
+
+// Property: the word-parallel mask syndrome matches the bit-serial
+// reference walk for every code size and random data.
+func TestSyndromeWordParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dataBits := range []int{1, 7, 63, 64, 65, 100, 256, 511, 512, 1000, 4096} {
+		s, err := NewSECDED(dataBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]uint64, s.wordsNeeded())
+		for trial := 0; trial < 50; trial++ {
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			fastSynd, fastOnes := s.syndromeOf(data)
+			refSynd, refOnes := s.syndromeBitSerial(data)
+			if fastSynd != refSynd || fastOnes != refOnes {
+				t.Fatalf("dataBits=%d: word-parallel (synd=%#x ones=%d) != bit-serial (synd=%#x ones=%d)",
+					dataBits, fastSynd, fastOnes, refSynd, refOnes)
+			}
+		}
+	}
+}
+
+// Property: ScreenClean agrees with Decode's clean verdict for intact,
+// single-error, and double-error words, junk above the check width
+// included.
+func TestScreenCleanMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dataBits := range []int{64, 512} {
+		s, err := NewSECDED(dataBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]uint64, s.wordsNeeded())
+		buf := make([]uint64, s.wordsNeeded())
+		for trial := 0; trial < 200; trial++ {
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			chk, err := s.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Junk above the stored width must be ignored.
+			chk |= rng.Uint64() << uint(s.CheckBits())
+			nflips := trial % 3
+			for f := 0; f < nflips; f++ {
+				flipBit(data, rng.Intn(dataBits))
+			}
+			copy(buf, data)
+			res, err := s.Decode(buf, chk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := res == (Result{})
+			if got := s.ScreenClean(data, chk); got != clean {
+				t.Fatalf("dataBits=%d flips=%d: ScreenClean=%v, Decode clean=%v", dataBits, nflips, got, clean)
+			}
+		}
+	}
+	// Wrong input length screens as not clean.
+	s, _ := NewSECDED(512)
+	if s.ScreenClean(make([]uint64, 3), 0) {
+		t.Fatal("short input screened clean")
+	}
+}
+
+// The encode and screen kernels of the weak code are on the upgrade
+// sweep's zero-allocation hot path.
+func TestEncodeScreenZeroAllocs(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]uint64, 8)
+	for i := range data {
+		data[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	chk, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := s.Encode(data); err != nil {
+			t.Fatal(err)
+		}
+		if !s.ScreenClean(data, chk) {
+			t.Fatal("clean word failed screen")
+		}
+	}); n != 0 {
+		t.Fatalf("Encode+ScreenClean allocate %v times per run", n)
+	}
+}

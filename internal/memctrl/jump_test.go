@@ -1,0 +1,227 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// traceHarness drives one controller through a scripted schedule and
+// records every observable: completion (tag, DoneAt) pairs in callback
+// order, channel stats, controller stats, final state.
+type traceHarness struct {
+	ch    *dram.Channel
+	ctl   *Controller
+	trace []string
+}
+
+func newTraceHarness(t *testing.T, cfg Config) *traceHarness {
+	t.Helper()
+	ch, err := dram.NewChannel(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &traceHarness{ch: ch}
+	ctl, err := New(ch, cfg, func(r *Request) {
+		h.trace = append(h.trace, fmt.Sprintf("done tag=%d at=%d enq=%d", r.Tag, r.DoneAt, r.EnqueuedAt))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	return h
+}
+
+// stepTo advances to the target cycle via StepOrJump (which per-cycle
+// steps when cfg.LegacyStepping is set), recording power-state
+// transitions as they happen.
+func (h *traceHarness) stepTo(target uint64) {
+	for h.ch.Now() < target {
+		before := h.ch.State()
+		h.ctl.StepOrJump(target)
+		if after := h.ch.State(); after != before {
+			h.trace = append(h.trace, fmt.Sprintf("state %v->%v at=%d", before, after, h.ch.Now()))
+		}
+	}
+}
+
+// scheduleOp is one scripted arrival.
+type scheduleOp struct {
+	cycle   uint64
+	isWrite bool
+	addr    uint64
+}
+
+// runSchedule replays the arrivals, then drains and idles a tail so
+// power-down and refresh behavior past the last request is covered too.
+func (h *traceHarness) runSchedule(t *testing.T, ops []scheduleOp, tailIdle uint64) {
+	t.Helper()
+	for i, op := range ops {
+		h.stepTo(op.cycle)
+		// Bit-exact on both paths: if the queue is full, step one cycle
+		// at a time until it accepts.
+		if op.isWrite {
+			for !h.ctl.CanEnqueueWrite() {
+				h.ctl.StepOrJump(h.ch.Now() + 1)
+			}
+			if err := h.ctl.EnqueueWrite(op.addr, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for !h.ctl.CanEnqueueRead() {
+				h.ctl.StepOrJump(h.ch.Now() + 1)
+			}
+			if err := h.ctl.EnqueueRead(op.addr, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	end := h.ch.Now() + tailIdle
+	h.stepTo(end)
+}
+
+// randomSchedule builds a bursty arrival pattern with long quiescent
+// gaps — exactly the shape the jump path accelerates — plus clustered
+// addresses for row locality.
+func randomSchedule(rng *rand.Rand, n int) []scheduleOp {
+	ops := make([]scheduleOp, n)
+	cycle := uint64(10)
+	for i := range ops {
+		switch rng.Intn(3) {
+		case 0: // burst
+			cycle += uint64(rng.Intn(6))
+		case 1: // short gap
+			cycle += uint64(rng.Intn(200))
+		default: // long quiescent gap spanning refresh slots and PD entry
+			cycle += uint64(rng.Intn(20_000))
+		}
+		ops[i] = scheduleOp{
+			cycle:   cycle,
+			isWrite: rng.Intn(3) == 0,
+			addr:    uint64(rng.Intn(1 << 14)) * 64,
+		}
+	}
+	return ops
+}
+
+// diffConfigs is the config matrix the wheel-vs-legacy differential
+// runs over: default, per-bank refresh, closed-page, no power-down,
+// refresh off, FCFS.
+func diffConfigs() map[string]Config {
+	base := DefaultConfig()
+	perBank := base
+	perBank.PerBankRefresh = true
+	closed := base
+	closed.PagePolicy = ClosedPage
+	noPD := base
+	noPD.PowerDownIdle = 0
+	noRef := base
+	noRef.RefreshEnabled = false
+	fcfs := base
+	fcfs.FCFS = true
+	return map[string]Config{
+		"default": base, "perbank": perBank, "closedpage": closed,
+		"nopd": noPD, "norefresh": noRef, "fcfs": fcfs,
+	}
+}
+
+// TestJumpMatchesLegacyStepping is the wheel-vs-legacy property test:
+// on randomized bursty schedules, event-wheel fast-forwarding must
+// reproduce the per-cycle reference bit-exactly — same completion
+// trace, same power-state transition trace (with timestamps), same
+// channel command/residency statistics, same controller statistics.
+func TestJumpMatchesLegacyStepping(t *testing.T) {
+	for name, cfg := range diffConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				ops := randomSchedule(rand.New(rand.NewSource(100+seed)), 120)
+
+				legacyCfg := cfg
+				legacyCfg.LegacyStepping = true
+				ref := newTraceHarness(t, legacyCfg)
+				ref.runSchedule(t, ops, 200_000)
+
+				fast := newTraceHarness(t, cfg)
+				fast.runSchedule(t, ops, 200_000)
+
+				if len(fast.trace) != len(ref.trace) {
+					t.Fatalf("seed %d: trace lengths differ: %d vs %d\nfast tail: %v\nref tail: %v",
+						seed, len(fast.trace), len(ref.trace), tail(fast.trace), tail(ref.trace))
+				}
+				for i := range ref.trace {
+					if fast.trace[i] != ref.trace[i] {
+						t.Fatalf("seed %d: trace[%d] = %q, want %q", seed, i, fast.trace[i], ref.trace[i])
+					}
+				}
+				if fast.ch.Now() != ref.ch.Now() {
+					t.Fatalf("seed %d: now %d vs %d", seed, fast.ch.Now(), ref.ch.Now())
+				}
+				if fast.ch.State() != ref.ch.State() {
+					t.Fatalf("seed %d: state %v vs %v", seed, fast.ch.State(), ref.ch.State())
+				}
+				if fast.ch.Stats() != ref.ch.Stats() {
+					t.Fatalf("seed %d: channel stats diverged:\nfast: %+v\nref:  %+v",
+						seed, fast.ch.Stats(), ref.ch.Stats())
+				}
+				if fast.ctl.Stats() != ref.ctl.Stats() {
+					t.Fatalf("seed %d: controller stats diverged:\nfast: %+v\nref:  %+v",
+						seed, fast.ctl.Stats(), ref.ctl.Stats())
+				}
+			}
+		})
+	}
+}
+
+func tail(s []string) []string {
+	if len(s) > 5 {
+		return s[len(s)-5:]
+	}
+	return s
+}
+
+// TestJumpSkipsCycles sanity-checks that the fast path actually jumps:
+// covering a long idle stretch must take far fewer StepOrJump calls
+// than cycles.
+func TestJumpSkipsCycles(t *testing.T) {
+	ch, err := dram.NewChannel(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(ch, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 1_000_000
+	calls := 0
+	for ch.Now() < target {
+		ctl.StepOrJump(target)
+		calls++
+		if calls > 100_000 {
+			t.Fatalf("no jumping: %d calls for %d cycles", calls, ch.Now())
+		}
+	}
+	if calls > 10_000 {
+		t.Errorf("jump path too weak: %d calls to cover %d idle cycles", calls, target)
+	}
+	t.Logf("%d StepOrJump calls covered %d idle cycles", calls, target)
+}
+
+// TestStepOrJumpZeroAllocs: the jump path must stay off the heap.
+func TestStepOrJumpZeroAllocs(t *testing.T) {
+	ch, err := dram.NewChannel(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(ch, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.StepOrJump(ch.Now() + 10_000) // warm up
+	if n := testing.AllocsPerRun(200, func() {
+		ctl.StepOrJump(ch.Now() + 10_000)
+	}); n != 0 {
+		t.Fatalf("StepOrJump allocates %v per call, want 0", n)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/dram"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Errors returned by the controller.
@@ -73,6 +74,10 @@ type Config struct {
 	// FCFS disables the row-hit-first pass of FR-FCFS: requests issue
 	// strictly oldest-first (the scheduling-championship baseline).
 	FCFS bool
+	// LegacyStepping disables the event-wheel fast-forward: StepOrJump
+	// degrades to plain per-cycle Step. Kept as the reference path for
+	// the wheel-vs-legacy differential property tests.
+	LegacyStepping bool
 }
 
 // DefaultConfig returns the baseline controller policy.
@@ -194,6 +199,29 @@ type Controller struct {
 	refreshBank   int
 	idleCycles    int
 
+	// Derived channel geometry, cached at construction: the Config
+	// value-receiver accessors copy the whole struct, which is too
+	// expensive for per-cycle use.
+	banks int
+	trefi uint64
+	// earliestDone caches the minimum DoneAt over inflight reads
+	// (^uint64(0) when none), so the per-cycle completion scan skips
+	// until a completion is actually due.
+	earliestDone uint64
+	// seenBank is issueBest's per-bank dedup scratch, reused across
+	// cycles so the scheduler scan stays off the heap.
+	seenBank []bool
+	// freelist recycles Request objects. Requests die in exactly three
+	// places (read completion, write issue, RAW forwarding), none of
+	// which retain the pointer past the onReadDone callback, so reuse
+	// is safe and keeps the enqueue path allocation-free.
+	freelist []*Request
+
+	// wheel tracks the controller's pending timing edges (next refresh
+	// slot, earliest in-flight completion, power-down entry) for the
+	// tickless fast path; see StepOrJump.
+	wheel *sched.Wheel
+
 	onReadDone func(*Request)
 	stats      Stats
 
@@ -214,7 +242,8 @@ type Controller struct {
 
 // New builds a controller over a channel. onReadDone is invoked (possibly
 // zero or multiple times per Step) as read data bursts complete; it may be
-// nil.
+// nil. The *Request passed to the callback is recycled once the callback
+// returns and must not be retained — copy any fields needed later.
 func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -225,7 +254,12 @@ func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, 
 		readQ:      make([]*Request, 0, cfg.ReadQueueCap),
 		writeQ:     make([]*Request, 0, cfg.WriteQueueCap),
 		onReadDone: onReadDone,
+		wheel:      sched.NewWheel(ch.Now(), numEvents),
+		banks:      ch.Config().TotalBanks(),
+		trefi:      uint64(ch.Config().Timing.TREFI),
 	}
+	c.seenBank = make([]bool, c.banks)
+	c.earliestDone = ^uint64(0)
 	// First slot is one effective interval out: tREFI/banks under REFpb,
 	// not a full tREFI — otherwise per-bank mode starts (banks-1) slots
 	// behind and never recovers the deficit.
@@ -263,7 +297,9 @@ func (c *Controller) SetChecker(t *checker.RefreshTracker) { c.chk = t }
 // scheduled issue sequence numbers. Dropped refreshes are deliberately
 // NOT reported to the checker, so a sufficient burst of drops trips the
 // refresh-ratio invariant.
-func (c *Controller) SetRefreshFaults(f *checker.RefreshFaults) { c.faults = f }
+func (c *Controller) SetRefreshFaults(f *checker.RefreshFaults) {
+	c.faults = f
+}
 
 // SetRefreshShift divides the auto-refresh rate by 2^shift — the MECC
 // refresh-rate modulation applied during active mode when SMD keeps the
@@ -327,10 +363,11 @@ func (c *Controller) ResyncRefresh() {
 // refreshInterval returns the effective refresh interval in DRAM cycles:
 // per-bank refresh pulses come banks-times as often, each covering one
 // bank.
+//meccvet:hotpath
 func (c *Controller) refreshInterval() uint64 {
-	interval := uint64(c.ch.Config().Timing.TREFI) << c.refreshShift
+	interval := c.trefi << c.refreshShift
 	if c.cfg.PerBankRefresh {
-		interval /= uint64(c.ch.Config().TotalBanks())
+		interval /= uint64(c.banks)
 		if interval == 0 {
 			interval = 1
 		}
@@ -357,12 +394,11 @@ func (c *Controller) EnqueueRead(lineAddr, tag uint64) error {
 	// served from the write queue without touching DRAM.
 	for _, w := range c.writeQ {
 		if w.LineAddr == lineAddr {
-			r := &Request{
-				LineAddr:   lineAddr,
-				EnqueuedAt: c.ch.Now(),
-				DoneAt:     c.ch.Now(),
-				Tag:        tag,
-			}
+			r := c.newRequest()
+			r.LineAddr = lineAddr
+			r.EnqueuedAt = c.ch.Now()
+			r.DoneAt = c.ch.Now()
+			r.Tag = tag
 			c.stats.ReadsEnqueued++
 			c.stats.ReadsDone++
 			c.cReads.Inc()
@@ -370,15 +406,15 @@ func (c *Controller) EnqueueRead(lineAddr, tag uint64) error {
 			if c.onReadDone != nil {
 				c.onReadDone(r)
 			}
+			c.freeRequest(r)
 			return nil
 		}
 	}
-	r := &Request{
-		LineAddr:   lineAddr,
-		EnqueuedAt: c.ch.Now(),
-		Tag:        tag,
-		coord:      c.ch.Config().Decode(lineAddr),
-	}
+	r := c.newRequest()
+	r.LineAddr = lineAddr
+	r.EnqueuedAt = c.ch.Now()
+	r.Tag = tag
+	r.coord = c.ch.Decode(lineAddr)
 	c.readQ = append(c.readQ, r)
 	c.stats.ReadsEnqueued++
 	c.cReads.Inc()
@@ -390,13 +426,12 @@ func (c *Controller) EnqueueWrite(lineAddr, tag uint64) error {
 	if !c.CanEnqueueWrite() {
 		return fmt.Errorf("%w: write queue", ErrQueueFull)
 	}
-	r := &Request{
-		LineAddr:   lineAddr,
-		IsWrite:    true,
-		EnqueuedAt: c.ch.Now(),
-		Tag:        tag,
-		coord:      c.ch.Config().Decode(lineAddr),
-	}
+	r := c.newRequest()
+	r.LineAddr = lineAddr
+	r.IsWrite = true
+	r.EnqueuedAt = c.ch.Now()
+	r.Tag = tag
+	r.coord = c.ch.Decode(lineAddr)
 	c.writeQ = append(c.writeQ, r)
 	c.stats.WritesEnqueued++
 	c.cWrites.Inc()
@@ -456,9 +491,277 @@ func (c *Controller) Step() {
 	c.ch.Tick()
 }
 
+// Event ids on the controller's timing wheel.
+const (
+	evRefresh   = int32(0) // next distributed-refresh slot
+	evInflight  = int32(1) // earliest in-flight read completion
+	evPowerDown = int32(2) // cycle at which the next Step enters power-down
+	numEvents   = 3
+)
+
+// maxJumpSpan bounds a single fast-forward (2^20 DRAM cycles, ~1.3 ms at
+// LPDDR rates): long quiescent stretches take a handful of jumps instead
+// of one unbounded leap, keeping wheel placement in the cheap low levels.
+const maxJumpSpan = uint64(1) << 20
+
+// StepOrJump advances the controller by one cycle — or, when the next
+// timing edge is provably further away, jumps straight to it (never past
+// limit). The per-cycle path is bit-exact with Step; the jump path is
+// taken only in quiescent stretches where every skipped Step would have
+// been a no-op Tick, so queues, refresh schedule, power-state residency
+// and statistics all evolve identically to per-cycle stepping (the
+// wheel-vs-legacy differential tests pin this). With Config.
+// LegacyStepping set it always takes the per-cycle path.
+func (c *Controller) StepOrJump(limit uint64) {
+	if !c.cfg.LegacyStepping && (c.tryJump(limit) || c.tryJumpBusy(limit)) {
+		return
+	}
+	c.Step()
+}
+
+// tryJumpBusy fast-forwards through a stretch where requests are queued
+// but none can issue yet: the cycles between an enqueue and its ACT,
+// between an ACT and its column access (tRCD), and the bus/turnaround
+// waits. Every skipped Step would have been completeReads (no
+// completion due), a refresh no-op, an issueBest that issues nothing,
+// and a Tick — so it jumps to the earliest cycle at which the scheduler
+// could act:
+//   - the earliest per-request issue edge over the effective active
+//     queue, mirroring issueBest's FR-FCFS passes (column access for
+//     row hits, ACT for closed banks, PRE for conflicts — suppressed,
+//     like pass 2, while another queued request still hits the row);
+//   - the earliest in-flight completion;
+//   - the refresh machine's next action: the next slot under per-bank
+//     refresh, the urgency deadline under postponed all-bank refresh
+//     (a due-but-postponed refresh is a per-cycle no-op while the
+//     queues stay busy, so due-ness alone does not stop the jump);
+//   - the cycle the anti-starvation limit would trip.
+//
+// Queue contents are static over the stretch — enqueues only happen
+// between StepOrJump calls, completions are capped by the completion
+// edge, and nothing issues before the jump lands — so the scheduler's
+// queue selection (draining state included) cannot change mid-stretch.
+// Conservatively-early edges are harmless: landing early just re-runs
+// the per-cycle path. Closed-page never busy-jumps (idle slots retire
+// open rows), and refresh fault injection pins per-cycle stepping.
+func (c *Controller) tryJumpBusy(limit uint64) bool {
+	if len(c.readQ) == 0 && len(c.writeQ) == 0 {
+		return false
+	}
+	if c.cfg.PagePolicy != OpenPage || c.faults != nil {
+		return false
+	}
+	if c.ch.State() != dram.StateActiveStandby {
+		return false
+	}
+	now := c.ch.Now()
+	if now+1 >= limit {
+		return false
+	}
+	edge := limit
+	if c.cfg.RefreshEnabled {
+		if c.cfg.PerBankRefresh {
+			// Per-bank refresh issues REFpb opportunistically to idle
+			// banks even under load: never skip past a due slot.
+			if c.refreshDue() {
+				return false
+			}
+			edge = minU64(edge, c.nextRefreshAt)
+		} else {
+			if c.refreshUrgent() {
+				return false
+			}
+			edge = minU64(edge, c.nextRefreshAt+
+				uint64(c.cfg.MaxPostponedRefresh)*c.refreshInterval())
+		}
+	}
+	for _, r := range c.inflight {
+		if r.DoneAt <= now {
+			return false // completion callback due this cycle
+		}
+		edge = minU64(edge, r.DoneAt)
+	}
+
+	// Replicate activeQueue's selection without mutating the draining
+	// flag (the real transition happens at the landing Step).
+	q := c.readQ
+	draining := c.draining && len(c.writeQ) > c.cfg.WriteLowWater
+	switch {
+	case draining || len(c.writeQ) >= c.cfg.WriteHighWater:
+		q = c.writeQ
+	case len(c.readQ) > 0:
+	case len(c.inflight) == 0 && len(c.writeQ) > 0:
+		q = c.writeQ
+	default:
+		q = nil // parked writes below the watermarks: only completions/refresh matter
+	}
+	if c.cfg.FCFS && len(q) > 1 {
+		q = q[:1]
+	}
+	if lim := c.cfg.StarvationLimit; lim > 0 && len(q) > 1 {
+		if now > q[0].EnqueuedAt+uint64(lim) {
+			q = q[:1]
+		} else {
+			// The scheduler's behavior changes when the limit trips.
+			edge = minU64(edge, q[0].EnqueuedAt+uint64(lim)+1)
+		}
+	}
+	for _, r := range q {
+		b := r.coord.Bank
+		switch {
+		case !c.ch.AnyRowOpen(b):
+			edge = minU64(edge, c.ch.EarliestACT(b))
+		case c.ch.OpenRow(b) == r.coord.Row:
+			if r.IsWrite {
+				edge = minU64(edge, c.ch.EarliestWR(b))
+			} else {
+				edge = minU64(edge, c.ch.EarliestRD(b))
+			}
+		case hitsOpenRow(q, c.ch.OpenRow(b), b):
+			// Pass 2 defers this bank's PRE while a queued request
+			// still hits the open row; that request has its own edge.
+		default:
+			edge = minU64(edge, c.ch.EarliestPRE(b))
+		}
+	}
+
+	if span := now + maxJumpSpan; edge > span {
+		edge = span
+	}
+	if edge <= now+1 {
+		return false
+	}
+	if err := c.ch.SkipTo(edge); err != nil {
+		// invariant: the state was checked above.
+		panic(err)
+	}
+	c.wheel.Advance(edge)
+	// Every skipped cycle had queued work, so each reset the idle
+	// counter.
+	c.idleCycles = 0
+	return true
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// tryJump fast-forwards to the next timing edge when the current cycle
+// provably cannot issue a command or change state. It returns false —
+// punting back to the cycle-exact Step — whenever anything is due now
+// or within one cycle.
+//
+// The quiescence argument, case by case:
+//   - queues must be empty: queued work can issue (or alter draining /
+//     starvation state) on any cycle;
+//   - active standby with in-flight reads: per-cycle Steps only reset
+//     idleCycles and Tick until the earliest DoneAt, so the edge is
+//     min(DoneAt);
+//   - active standby, idle: per-cycle Steps increment idleCycles and
+//     Tick; the next edges are the refresh slot and the power-down
+//     entry cycle now+(PowerDownIdle-idleCycles)-1 (that Step both
+//     enters and accrues power-down, so the jump stops one short and
+//     replays it cycle-exactly);
+//   - power-down states: Steps only Tick until work appears, and with
+//     empty queues the only work source is the refresh slot;
+//   - closed-page requires all banks precharged, since otherwise idle
+//     Steps spend slots retiring open rows;
+//   - self-refresh (and any other state) never jumps.
+func (c *Controller) tryJump(limit uint64) bool {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 || c.refreshDue() {
+		return false
+	}
+	now := c.ch.Now()
+	if now+1 >= limit {
+		return false
+	}
+	state := c.ch.State()
+	switch state {
+	case dram.StateActiveStandby, dram.StatePrechargePD, dram.StateActivePD:
+	default:
+		return false
+	}
+	if c.cfg.PagePolicy == ClosedPage && !c.ch.AllPrecharged() {
+		return false
+	}
+
+	// Publish the pending edges to the wheel. The wheel's clock is only
+	// advanced on successful jumps: placement invariants are all
+	// relative to the wheel's own time, re-scheduling an unchanged
+	// deadline is a no-op, and the refusal checks above (refresh due,
+	// completion due) already catch every matured edge, so running
+	// "behind" the channel clock is safe and skips a per-attempt sweep.
+	if c.cfg.RefreshEnabled {
+		c.wheel.Schedule(evRefresh, c.nextRefreshAt)
+	} else {
+		c.wheel.Cancel(evRefresh)
+	}
+	if len(c.inflight) > 0 {
+		minDone := c.inflight[0].DoneAt
+		for _, r := range c.inflight[1:] {
+			if r.DoneAt < minDone {
+				minDone = r.DoneAt
+			}
+		}
+		if minDone <= now {
+			// A completion callback is due this cycle; Step must fire it.
+			c.wheel.Cancel(evInflight)
+			c.wheel.Cancel(evPowerDown)
+			return false
+		}
+		c.wheel.Schedule(evInflight, minDone)
+	} else {
+		c.wheel.Cancel(evInflight)
+	}
+	if state == dram.StateActiveStandby && len(c.inflight) == 0 && c.cfg.PowerDownIdle > 0 {
+		need := c.cfg.PowerDownIdle - c.idleCycles
+		if need <= 2 {
+			// Power-down entry within a cycle or two: replay per-cycle.
+			c.wheel.Cancel(evPowerDown)
+			return false
+		}
+		c.wheel.Schedule(evPowerDown, now+uint64(need)-1)
+	} else {
+		c.wheel.Cancel(evPowerDown)
+	}
+
+	edge := limit
+	if at, ok := c.wheel.Next(); ok && at < edge {
+		edge = at
+	}
+	if span := now + maxJumpSpan; edge > span {
+		edge = span
+	}
+	if edge <= now+1 {
+		return false
+	}
+	if err := c.ch.SkipTo(edge); err != nil {
+		// invariant: the state was checked above.
+		panic(err)
+	}
+	c.wheel.Advance(edge)
+	// Replay the skipped Steps' side effects on the idle counter: each
+	// would have reset it (in-flight traffic) or incremented it (true
+	// idle); power-down states leave it alone.
+	if state == dram.StateActiveStandby {
+		if len(c.inflight) > 0 {
+			c.idleCycles = 0
+		} else {
+			c.idleCycles += int(edge - now)
+		}
+	}
+	return true
+}
+
 // completeReads fires callbacks for finished data bursts.
 func (c *Controller) completeReads() {
 	now := c.ch.Now()
+	if now < c.earliestDone {
+		return
+	}
 	kept := c.inflight[:0]
 	for _, r := range c.inflight {
 		if r.DoneAt <= now {
@@ -477,11 +780,18 @@ func (c *Controller) completeReads() {
 			if c.onReadDone != nil {
 				c.onReadDone(r)
 			}
+			c.freeRequest(r)
 			continue
 		}
 		kept = append(kept, r)
 	}
 	c.inflight = kept
+	c.earliestDone = ^uint64(0)
+	for _, r := range kept {
+		if r.DoneAt < c.earliestDone {
+			c.earliestDone = r.DoneAt
+		}
+	}
 }
 
 func (c *Controller) refreshDue() bool {
@@ -489,12 +799,16 @@ func (c *Controller) refreshDue() bool {
 }
 
 // refreshUrgent reports that refresh can no longer be postponed.
+// Division-free form of (now-nextRefreshAt)/interval >= MaxPostponed.
+//
+//meccvet:hotpath
 func (c *Controller) refreshUrgent() bool {
 	if !c.cfg.RefreshEnabled {
 		return false
 	}
-	behind := int((c.ch.Now() - c.nextRefreshAt) / c.refreshInterval())
-	return c.ch.Now() >= c.nextRefreshAt && behind >= c.cfg.MaxPostponedRefresh
+	now := c.ch.Now()
+	return now >= c.nextRefreshAt &&
+		now-c.nextRefreshAt >= uint64(c.cfg.MaxPostponedRefresh)*c.refreshInterval()
 }
 
 // issueRefreshIfNeeded handles the refresh state machine. It returns true
@@ -526,7 +840,7 @@ func (c *Controller) issueRefreshIfNeeded() bool {
 		return true
 	}
 	// Close banks so REF can issue.
-	for b := 0; b < c.ch.Config().TotalBanks(); b++ {
+	for b := 0; b < c.banks; b++ {
 		if c.ch.AnyRowOpen(b) && c.ch.CanPRE(b) {
 			if err := c.ch.PRE(b); err != nil {
 				// invariant: CanPRE was checked.
@@ -561,7 +875,7 @@ func (c *Controller) issuePerBankRefresh() bool {
 		c.chk.OnRefresh(c.ch.Now(), bank)
 		c.noteRefresh(bank)
 		c.nextRefreshAt += c.refreshInterval()
-		c.refreshBank = (bank + 1) % c.ch.Config().TotalBanks()
+		c.refreshBank = (bank + 1) % c.banks
 		return true
 	}
 	if !c.refreshUrgent() {
@@ -639,7 +953,7 @@ func (c *Controller) activeQueue() []*Request {
 // closeIdleRow precharges one open row that no queued request hits. It
 // returns true when a PRE was issued.
 func (c *Controller) closeIdleRow() bool {
-	for b := 0; b < c.ch.Config().TotalBanks(); b++ {
+	for b := 0; b < c.banks; b++ {
 		if !c.ch.AnyRowOpen(b) || !c.ch.CanPRE(b) {
 			continue
 		}
@@ -691,6 +1005,7 @@ func (c *Controller) issueBest() {
 				}
 				c.ch.NoteRowHit(!r.missed)
 				c.removeWrite(r)
+				c.freeRequest(r)
 				return
 			}
 		} else if c.ch.CanRD(r.coord.Bank, r.coord.Row) {
@@ -703,6 +1018,9 @@ func (c *Controller) issueBest() {
 			r.DoneAt = done
 			c.removeRead(r)
 			c.inflight = append(c.inflight, r)
+			if done < c.earliestDone {
+				c.earliestDone = done
+			}
 			return
 		}
 	}
@@ -710,7 +1028,10 @@ func (c *Controller) issueBest() {
 	// Pass 2: for the oldest request per bank, open its row (ACT) or
 	// close a conflicting one (PRE), provided no queued request still
 	// hits the open row.
-	seen := make(map[int]bool, c.ch.Config().TotalBanks())
+	seen := c.seenBank
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, r := range q {
 		b := r.coord.Bank
 		if seen[b] {
@@ -758,6 +1079,28 @@ func hitsOpenRow(q []*Request, row, bank int) bool {
 		}
 	}
 	return false
+}
+
+// newRequest takes a Request from the freelist, or allocates one.
+//
+//meccvet:hotpath
+func (c *Controller) newRequest() *Request {
+	if n := len(c.freelist); n > 0 {
+		r := c.freelist[n-1]
+		c.freelist = c.freelist[:n-1]
+		*r = Request{}
+		return r
+	}
+	//meccvet:allow hotpath -- warm-up only: once the in-flight peak is reached every request is recycled through the freelist
+	return new(Request)
+}
+
+// freeRequest returns a dead Request to the freelist. The caller must
+// not use the pointer afterwards.
+//
+//meccvet:hotpath
+func (c *Controller) freeRequest(r *Request) {
+	c.freelist = append(c.freelist, r)
 }
 
 func (c *Controller) removeRead(r *Request) {

@@ -21,7 +21,12 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{ch: ch}
-	ctl, err := New(ch, cfg, func(r *Request) { h.done = append(h.done, r) })
+	ctl, err := New(ch, cfg, func(r *Request) {
+		// The controller recycles Requests after the callback returns;
+		// keep a copy, not the pointer.
+		cp := *r
+		h.done = append(h.done, &cp)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

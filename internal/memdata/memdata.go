@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/ecc"
 	"repro/internal/line"
@@ -44,6 +45,16 @@ type Stats struct {
 	InjectedErrors uint64
 }
 
+// sweepShardStats is one worker's slice of the sweep counters, padded
+// out to a cache line so shards never contend on the same line while
+// counting. Totals are folded into Stats in shard-index order after the
+// join, so they are bit-identical for any worker count.
+type sweepShardStats struct {
+	upgraded      uint64
+	uncorrectable uint64
+	_             [6]uint64 // pad to 64 bytes
+}
+
 // Memory is a functional MECC memory. Not safe for concurrent use.
 type Memory struct {
 	codec *ecc.Morphable
@@ -53,6 +64,18 @@ type Memory struct {
 	data   []line.Line
 	spare  []uint64
 	inited []bool
+
+	// Sweep machinery, all persistent so a steady-state EnterIdle runs
+	// without heap allocations: the worker pool, the weak-line address
+	// buffer (regrown at most O(log n) times over the memory's life),
+	// the per-shard counters, and the shard closure built once at
+	// construction. sweepWeak carries the current sweep's address slice
+	// to the closure; it is only set while EnterIdle runs.
+	pool       *batch.Pool
+	weakBuf    []uint64
+	sweepWeak  []uint64
+	sweepStats []sweepShardStats
+	sweepFn    func(worker, lo, hi int)
 
 	seed  int64
 	epoch int64
@@ -92,6 +115,8 @@ func NewWithCodec(totalLines uint64, meccCfg core.Config, codec *ecc.Morphable, 
 		inited: make([]bool, totalLines),
 		seed:   seed,
 	}
+	m.setPool(batch.Default())
+	m.sweepFn = m.sweepShard
 	// Boot state: everything encoded strong (all-zero data).
 	zeroSpare := codec.Encode(line.Line{}, ecc.ModeStrong)
 	for i := range m.spare {
@@ -177,58 +202,85 @@ func (m *Memory) Read(addr uint64, nowCPU uint64) (line.Line, error) {
 // to bound the scratch buffers at a few hundred KB.
 const sweepChunk = 4096
 
+// minSweepPerWorker is the smallest shard worth shipping to a sweep
+// worker: a screened upgrade is a few hundred nanoseconds per line, so
+// 256 lines keep the fork-join overhead well under 1%.
+const minSweepPerWorker = 256
+
+// setPool installs the sweep worker pool and sizes the per-shard
+// counters to match.
+func (m *Memory) setPool(p *batch.Pool) {
+	m.pool = p
+	m.sweepStats = make([]sweepShardStats, p.Workers())
+}
+
+// SetSweepPool replaces the worker pool behind the upgrade sweep (the
+// process-wide batch.Default() unless overridden). Tests use it to pin
+// the worker count when checking that sweep results are bit-identical
+// for any sharding. The memory does not own the pool; Close it (if not
+// the default) when done.
+func (m *Memory) SetSweepPool(p *batch.Pool) { m.setPool(p) }
+
+// sweepShard upgrades the weak lines m.sweepWeak[lo:hi] in place. It is
+// the persistent shard body run by the pool workers: shards touch
+// disjoint addresses and count into their own padded stats slot, so the
+// loop is data-race-free and needs no locks. Per-line work is the fast
+// screen (word-sliced weak re-encode) plus a strong table encode; only
+// lines whose screen fails — retention victims — pay the scalar
+// morphable decode.
+//
+//meccvet:hotpath
+func (m *Memory) sweepShard(worker, lo, hi int) {
+	st := &m.sweepStats[worker]
+	for _, addr := range m.sweepWeak[lo:hi] {
+		data := m.data[addr]
+		spare := m.spare[addr]
+		if m.codec.ScreenWeakClean(data, spare) {
+			//meccvet:allow hotclosure -- codec fixed at construction; both concrete Encode implementations are allocation-free hotpath roots
+			m.spare[addr] = m.codec.Encode(data, ecc.ModeStrong)
+			st.upgraded++
+			continue
+		}
+		//meccvet:allow hotclosure -- rare screen-failure path; the concrete decoders are allocation-free hotpath roots
+		fixed, ev := m.codec.Decode(data, spare)
+		if ev.Result.Uncorrectable {
+			st.uncorrectable++
+			continue
+		}
+		m.data[addr] = fixed
+		//meccvet:allow hotclosure -- codec fixed at construction; both concrete Encode implementations are allocation-free hotpath roots
+		m.spare[addr] = m.codec.Encode(fixed, ecc.ModeStrong)
+		st.upgraded++
+	}
+}
+
 // EnterIdle performs the real ECC-Upgrade sweep: every line the
-// controller upgrades is decoded with the weak code and re-encoded with
-// the strong one. The sweep runs in batched chunks through the codec
-// worker pool — the software analogue of the paper's 640 M-cycle
-// background sweep being bandwidth-, not latency-, bound. It returns the
-// controller's transition summary.
+// controller upgrades is re-encoded with the strong code, after either
+// passing the weak-clean screen or (rarely) a full corrective decode.
+// The weak-line list is sharded across the persistent worker pool; the
+// address buffer, shard counters and shard closure are all reused across
+// quanta, so a steady-state sweep performs no heap allocations — the
+// software analogue of the paper's 640 M-cycle background sweep being
+// bandwidth-, not latency-, bound. Results are bit-identical for any
+// worker count: lines are independent and the per-shard counters are
+// folded in shard order. It returns the controller's transition summary.
 func (m *Memory) EnterIdle(nowCPU uint64) (core.IdleTransition, error) {
 	// Snapshot which lines are weak (word-at-a-time over the mode bitset)
 	// before the controller flips them.
-	weak := m.ctl.AppendWeakLines(nil)
+	m.weakBuf = m.ctl.AppendWeakLines(m.weakBuf[:0])
 	tr, err := m.ctl.EnterIdle(nowCPU)
 	if err != nil {
 		return tr, err
 	}
-	n := len(weak)
-	size := n
-	if size > sweepChunk {
-		size = sweepChunk
+	for i := range m.sweepStats {
+		m.sweepStats[i] = sweepShardStats{}
 	}
-	var (
-		datas  = make([]line.Line, size)
-		spares = make([]uint64, size)
-		evs    = make([]ecc.DecodeEvent, size)
-		good   = make([]uint64, 0, size) // addresses that decoded cleanly
-	)
-	for lo := 0; lo < n; lo += sweepChunk {
-		chunk := weak[lo:min(lo+sweepChunk, n)]
-		for i, addr := range chunk {
-			datas[i] = m.data[addr]
-			spares[i] = m.spare[addr]
-		}
-		cd, cs, ce := datas[:len(chunk)], spares[:len(chunk)], evs[:len(chunk)]
-		m.codec.DecodeBatch(cd, cs, cd, ce)
-		good = good[:0]
-		for i, addr := range chunk {
-			if ce[i].Result.Uncorrectable {
-				m.stats.Uncorrectable++
-				continue
-			}
-			m.data[addr] = cd[i]
-			good = append(good, addr)
-			m.stats.UpgradedLines++
-		}
-		// Re-encode the surviving lines strong in one batch; gather their
-		// (corrected) contents back into the scratch buffer first.
-		for i, addr := range good {
-			datas[i] = m.data[addr]
-		}
-		m.codec.EncodeBatch(datas[:len(good)], ecc.ModeStrong, spares[:len(good)])
-		for i, addr := range good {
-			m.spare[addr] = spares[i]
-		}
+	m.sweepWeak = m.weakBuf
+	m.pool.Run(len(m.sweepWeak), minSweepPerWorker, m.sweepFn)
+	m.sweepWeak = nil
+	for i := range m.sweepStats {
+		m.stats.UpgradedLines += m.sweepStats[i].upgraded
+		m.stats.Uncorrectable += m.sweepStats[i].uncorrectable
 	}
 	return tr, nil
 }

@@ -29,15 +29,17 @@ func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
 		r.waitTag = tag
 		r.waitDone = false
 		for !r.waitDone {
-			r.stepDRAM()
+			r.driftDRAM()
 		}
 		dataCPU := r.waitAt * r.ratio()
 		r.cpu.StallUntil(dataCPU + uint64(decodeCycles))
 		r.maybePrefetch(lineAddr)
 		return nil
 	}
+	// A full read queue means pending work, which pins the controller to
+	// per-cycle stepping anyway; driftDRAM degrades to single steps here.
 	for !r.ctl.CanEnqueueRead() {
-		r.stepDRAM()
+		r.driftDRAM()
 	}
 	r.nextTag++
 	r.waitTag = r.nextTag
@@ -47,7 +49,7 @@ func (r *Runner) doRead(lineAddr uint64, decodeCycles int) error {
 		panic(err)
 	}
 	for !r.waitDone {
-		r.stepDRAM()
+		r.driftDRAM()
 	}
 	dataCPU := r.waitAt * r.ratio()
 	r.cpu.StallUntil(dataCPU + uint64(decodeCycles))

@@ -146,6 +146,10 @@ type Runner struct {
 	rchk        *checker.RefreshTracker
 	lastEnergyJ float64
 
+	// cpuRatio caches CPU cycles per DRAM cycle; DRAM.CPURatio() copies
+	// the whole dram.Config and this runs on every trace record.
+	cpuRatio uint64
+
 	pendingWB []uint64
 	waitTag   uint64
 	waitDone  bool
@@ -199,6 +203,7 @@ func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.S
 		cfg:              cfg,
 		prof:             prof,
 		ch:               ch,
+		cpuRatio:         uint64(cfg.DRAM.CPURatio()),
 		prefReady:        make(map[uint64]bool),
 		prefInflight:     make(map[uint64]uint64),
 		prefInflightAddr: make(map[uint64]uint64),
@@ -344,11 +349,16 @@ func (r *Runner) maybePrefetch(demandAddr uint64) {
 }
 
 // ratio is CPU cycles per DRAM cycle.
-func (r *Runner) ratio() uint64 { return uint64(r.cfg.DRAM.CPURatio()) }
+func (r *Runner) ratio() uint64 { return r.cpuRatio }
 
-// stepDRAM advances the memory system one DRAM cycle and opportunistically
-// flushes pending downgrade writebacks.
-func (r *Runner) stepDRAM() {
+// stepDRAMTo advances the memory system one DRAM cycle — or one
+// event-wheel jump toward limit (never past it) — and opportunistically
+// flushes pending downgrade writebacks. The one-writeback-per-cycle
+// flush cadence survives jumping: a non-empty writeback list either
+// enqueues here (making the controller's queues non-empty) or finds
+// them full, and in both cases the controller refuses to jump, so
+// writebacks drain on exactly the cycles per-cycle stepping would use.
+func (r *Runner) stepDRAMTo(limit uint64) {
 	if len(r.pendingWB) > 0 && r.ctl.CanEnqueueWrite() {
 		addr := r.pendingWB[len(r.pendingWB)-1]
 		r.pendingWB = r.pendingWB[:len(r.pendingWB)-1]
@@ -357,15 +367,27 @@ func (r *Runner) stepDRAM() {
 			panic(err)
 		}
 	}
-	r.ctl.Step()
+	r.ctl.StepOrJump(limit)
 }
+
+// stepDRAM advances the memory system exactly one DRAM cycle.
+func (r *Runner) stepDRAM() { r.stepDRAMTo(r.ch.Now() + 1) }
+
+// driftDRAM advances toward the next memory-system edge — a read
+// completion, refresh slot, or power-down entry — with no CPU-side
+// bound. Used while the core is stalled on a demand read: the
+// controller never jumps past the completion because the in-flight
+// request's DoneAt is itself one of the published edges.
+func (r *Runner) driftDRAM() { r.stepDRAMTo(^uint64(0)) }
 
 // syncDRAM advances DRAM until its clock covers the CPU clock.
 func (r *Runner) syncDRAM() {
-	target := r.cpu.Now()
 	ratio := r.ratio()
-	for r.ch.Now()*ratio < target {
-		r.stepDRAM()
+	// First DRAM cycle whose CPU-time is >= the core's clock; quiescent
+	// stretches inside a gap are covered by event-wheel jumps.
+	target := (r.cpu.Now() + ratio - 1) / ratio
+	for r.ch.Now() < target {
+		r.stepDRAMTo(target)
 	}
 }
 
