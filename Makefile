@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo obs-smoke obs-demo fuzz fuzz-short clean
 
 # Pinned staticcheck release for CI; `make lint` uses a local install
 # when one is on PATH and skips it (with a note) otherwise.
@@ -81,6 +81,18 @@ trace-demo:
 	$(GO) run ./cmd/obsdump -n 40 \
 		-kinds mecc_transition,refresh_rate,refresh,smd_window,smd_enable,smd_disable,mdt_mark \
 		trace-demo.jsonl
+
+# Start a short MECC slice with the obs server attached, poll /healthz,
+# validate the live /metrics exposition with the in-repo strict parser
+# (cmd/obsscrape), and check the /progress JSON. CI runs this.
+obs-smoke:
+	GO=$(GO) sh scripts/obs_smoke.sh
+
+# Same as obs-smoke, but also prints the scraped progress JSON and a
+# metrics excerpt — a one-command tour of the live observability layer
+# (see DESIGN.md Observability).
+obs-demo:
+	GO=$(GO) sh scripts/obs_smoke.sh demo
 
 # Short fuzz session over the parsers and the BCH decoder.
 fuzz:

@@ -14,13 +14,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
+	"repro/internal/batch"
 	"repro/internal/bch"
 	"repro/internal/checker"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -129,6 +135,10 @@ func run() error {
 		metricsOut  = flag.String("metrics-out", "", "write run metrics to this file (- for stdout; .csv selects CSV, otherwise Prometheus text)")
 		timeline    = flag.Bool("timeline", false, "render an ASCII run timeline after the report")
 		check       = flag.Bool("check", false, "attach run-time invariant checkers; violations fail the run")
+		serve       = flag.String("serve", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address while running (e.g. :9090)")
+		flightN     = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder capacity in events (0 disables)")
+		flightOut   = flag.String("flight-out", "", "dump the flight recorder to this file at exit and on incident (- for stdout; default incidents go to stderr)")
+		linger      = flag.Duration("linger", 0, "keep the obs server up this long after the run completes")
 	)
 	flag.Parse()
 
@@ -185,14 +195,25 @@ func run() error {
 	}
 	cfg.CheckpointEvery = *checkpoints
 
-	// Telemetry is opt-in: with none of the flags set cfg.Obs stays nil
-	// and the simulator's hot paths take their zero-cost no-op branches.
+	// Telemetry. The flight recorder is on by default — its record path
+	// is lock-free and allocation-free, so it rides along at negligible
+	// cost and there is always a tail of recent events to dump when
+	// something breaks. Passing -flight 0 with no other telemetry flag
+	// keeps cfg.Obs nil and the hot paths on their zero-cost branches.
 	var (
 		elog    *obs.EventLog
 		sampler *obs.Sampler
+		flight  *obs.FlightRecorder
+		prog    *obs.Progress
 	)
-	if *traceOut != "" || *metricsOut != "" || *timeline {
+	if *traceOut != "" || *metricsOut != "" || *timeline || *serve != "" || *flightN > 0 {
 		rec := obs.New()
+		if *flightN > 0 {
+			flight = obs.NewFlightRecorder(*flightN)
+			rec.SetFlightRecorder(flight)
+		}
+		prog = obs.NewProgress()
+		rec.SetProgress(prog)
 		if *traceOut != "" || *timeline {
 			mask, err := obs.ParseKindMask(*traceEvents)
 			if err != nil {
@@ -223,11 +244,67 @@ func run() error {
 		}
 		bch.SetObserver(rec)
 		defer bch.SetObserver(nil)
+		batch.SetObserver(rec)
+		defer batch.SetObserver(nil)
 		cfg.Obs = rec
+	}
+
+	// dumpFlight writes the ring's tail once — on the first of: checker
+	// invariant fire, panic in the run, SIGQUIT, or (when -flight-out is
+	// set) normal exit. Incidents go to -flight-out when set, stderr
+	// otherwise.
+	dumpFlight := newFlightDumper("meccsim", flight, *flightOut)
+	if flight != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			dumpFlight("SIGQUIT")
+			os.Exit(2)
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				dumpFlight("panic")
+				panic(p)
+			}
+			if *flightOut != "" {
+				dumpFlight("exit")
+			}
+		}()
 	}
 
 	if *check {
 		cfg.Check = checker.NewSuite()
+		cfg.Check.SetOnViolation(func(v checker.Violation) {
+			dumpFlight("invariant " + v.Invariant)
+		})
+	}
+
+	var srv *httpserv.Server
+	if *serve != "" {
+		srv = httpserv.New(httpserv.Config{
+			Registry: cfg.Obs.Registry(),
+			Progress: prog,
+			Flight:   flight,
+		})
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			return fmt.Errorf("obs server: %w", err)
+		}
+		defer func() {
+			if cerr := srv.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "meccsim: close obs server:", cerr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "meccsim: obs server on http://%s (/metrics /healthz /progress /flight /debug/pprof)\n", addr)
+		// Registered after the Close defer so it runs first: hold the
+		// server up for late scrapes, then tear it down.
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "meccsim: obs server lingering %s on http://%s\n", *linger, addr)
+				time.Sleep(*linger)
+			}
+		}()
 	}
 
 	var res sim.Result
@@ -312,6 +389,37 @@ func run() error {
 		fmt.Printf("checkpoint       %12d instr  IPC %.4f\n", cp.Instructions, cp.IPC)
 	}
 	return renderTimeline(*timeline, sampler, elog)
+}
+
+// newFlightDumper returns a dump function that writes the flight
+// recorder's contents as JSONL exactly once, no matter how many
+// incident paths race to trigger it. path selects the sink ("" or an
+// open failure falls back to stderr; "-" is stdout). A nil recorder
+// yields a no-op.
+func newFlightDumper(tool string, f *obs.FlightRecorder, path string) func(reason string) {
+	var once sync.Once
+	return func(reason string) {
+		if f == nil {
+			return
+		}
+		once.Do(func() {
+			w, closeFn := io.Writer(os.Stderr), func() error { return nil }
+			if path != "" {
+				if ww, cf, err := openOut(path); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: flight-out: %v (dumping to stderr)\n", tool, err)
+				} else {
+					w, closeFn = ww, cf
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s: dumping flight recorder (%s, %d events)\n", tool, reason, len(f.Events()))
+			if err := f.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flight dump: %v\n", tool, err)
+			}
+			if err := closeFn(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flight dump close: %v\n", tool, err)
+			}
+		})
+	}
 }
 
 // renderTimeline prints the ASCII run timeline when requested.

@@ -1,15 +1,22 @@
 // Command obsdump pretty-prints a JSONL event trace produced by
-// meccsim/paperbench -trace-out: one aligned line per event, with the
-// per-kind fields spelled out, followed by a per-kind census.
+// meccsim/paperbench -trace-out (or a flight-recorder dump): one
+// aligned line per event with the per-kind fields spelled out, followed
+// by a per-kind census and, when the trace contains span events, a
+// hierarchical per-phase latency summary stitched from the
+// span_start/span_end pairs.
 //
 // Usage:
 //
-//	obsdump [-kinds dram_cmd,refresh,...] [-n MAX] [trace.jsonl]
+//	obsdump [-format text|json] [-kinds dram_cmd,refresh,...] [-n MAX]
+//	        [trace.jsonl]
 //
 // With no file argument (or "-") the trace is read from stdin.
+// -format json emits one machine-readable document (census, span
+// summary, and the filtered events) instead of the text rendering.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +39,13 @@ func run() error {
 		kinds  = flag.String("kinds", "all", "event kinds to print: all, or a comma list")
 		maxN   = flag.Int("n", 0, "print at most N events (0 = all)")
 		census = flag.Bool("census", true, "append a per-kind event census")
+		format = flag.String("format", "text", "output format: text | json")
 	)
 	flag.Parse()
 
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
 	mask, err := obs.ParseKindMask(*kinds)
 	if err != nil {
 		return err
@@ -57,16 +68,24 @@ func run() error {
 	}
 
 	counts := map[obs.Kind]uint64{}
-	printed := 0
+	var listed []obs.Event
 	for _, e := range events {
 		counts[e.Kind]++
 		if !mask.Has(e.Kind) {
 			continue
 		}
-		if *maxN > 0 && printed >= *maxN {
+		if *maxN > 0 && len(listed) >= *maxN {
 			continue
 		}
-		printed++
+		listed = append(listed, e)
+	}
+	spans := summarizeSpans(events)
+
+	if *format == "json" {
+		return writeJSON(os.Stdout, events, listed, counts, spans, *census)
+	}
+
+	for _, e := range listed {
 		fmt.Printf("%12d  %-15s %s\n", e.T, e.Kind, detail(e))
 	}
 	if *census && len(events) > 0 {
@@ -78,7 +97,139 @@ func run() error {
 		}
 		fmt.Printf("\n%d events:\n%s", len(events), bc.String())
 	}
+	if len(spans) > 0 {
+		fmt.Printf("\nspan latency (emitter clock units):\n")
+		fmt.Print(renderSpanTree(spans))
+	}
 	return nil
+}
+
+// jsonReport is the -format json document: the census and span summary
+// computed over the whole trace, plus the events that passed the
+// -kinds / -n filters.
+type jsonReport struct {
+	TotalEvents int               `json:"total_events"`
+	Census      map[string]uint64 `json:"census,omitempty"`
+	Spans       []spanStat        `json:"spans,omitempty"`
+	Events      []obs.Event       `json:"events"`
+}
+
+// writeJSON emits the machine-readable rendering.
+func writeJSON(w io.Writer, events, listed []obs.Event, counts map[obs.Kind]uint64, spans []spanStat, census bool) error {
+	rep := jsonReport{TotalEvents: len(events), Spans: spans, Events: listed}
+	if rep.Events == nil {
+		rep.Events = []obs.Event{}
+	}
+	if census {
+		rep.Census = make(map[string]uint64, len(counts))
+		for k, n := range counts {
+			rep.Census[k.String()] = n
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// spanStat aggregates every completed span of one name: how many ran,
+// their total/min/max duration, and how many were still open (started,
+// never ended) when the trace stopped. Parent is the name of the most
+// recently observed parent span, "" for roots.
+type spanStat struct {
+	Name  string `json:"name"`
+	Par   string `json:"parent,omitempty"`
+	Count int    `json:"count"`
+	Open  int    `json:"open,omitempty"`
+	Total uint64 `json:"total"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+}
+
+// summarizeSpans stitches span_start/span_end pairs into per-name
+// latency aggregates, in first-appearance order. Durations come from
+// the end events (Span.End stamps them), so a trace whose ring dropped
+// the start events still summarizes; starts contribute the open count
+// and the id→name table used to resolve parent names.
+func summarizeSpans(events []obs.Event) []spanStat {
+	nameOf := map[uint64]string{}
+	openIDs := map[uint64]string{}
+	idx := map[string]int{}
+	var out []spanStat
+	at := func(name string) *spanStat {
+		i, ok := idx[name]
+		if !ok {
+			i = len(out)
+			idx[name] = i
+			out = append(out, spanStat{Name: name})
+		}
+		return &out[i]
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSpanStart:
+			nameOf[e.Span] = e.Name
+			openIDs[e.Span] = e.Name
+			at(e.Name)
+		case obs.KindSpanEnd:
+			delete(openIDs, e.Span)
+			s := at(e.Name)
+			if p, ok := nameOf[e.Parent]; ok && e.Parent != 0 {
+				s.Par = p
+			}
+			dur := e.Cycles
+			if s.Count == 0 || dur < s.Min {
+				s.Min = dur
+			}
+			if dur > s.Max {
+				s.Max = dur
+			}
+			s.Total += dur
+			s.Count++
+		}
+	}
+	for _, name := range openIDs {
+		at(name).Open++
+	}
+	return out
+}
+
+// renderSpanTree prints the span aggregates as an indented tree:
+// roots first, children nested under the parent name they reported.
+func renderSpanTree(spans []spanStat) string {
+	children := map[string][]spanStat{}
+	for _, s := range spans {
+		children[s.Par] = append(children[s.Par], s)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-24s %8s %12s %10s %10s %10s %6s\n",
+		"span", "count", "total", "min", "avg", "max", "open")
+	seen := map[string]bool{}
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, s := range children[parent] {
+			if seen[s.Name] {
+				continue
+			}
+			seen[s.Name] = true
+			avg := uint64(0)
+			if s.Count > 0 {
+				avg = s.Total / uint64(s.Count)
+			}
+			label := strings.Repeat("  ", depth) + s.Name
+			fmt.Fprintf(&b, "  %-24s %8d %12d %10d %10d %10d %6d\n",
+				label, s.Count, s.Total, s.Min, avg, s.Max, s.Open)
+			walk(s.Name, depth+1)
+		}
+	}
+	walk("", 0)
+	// Orphans whose parent name never completed a span of its own
+	// (e.g. the parent's events fell off the ring) still print, flat.
+	for _, s := range spans {
+		if !seen[s.Name] {
+			walk(s.Par, 1)
+		}
+	}
+	return b.String()
 }
 
 // detail renders an event's kind-specific fields.
@@ -110,6 +261,16 @@ func detail(e obs.Event) string {
 		add("region=%d", e.Region)
 	case obs.KindDecode:
 		add("cycles=%d strong=%v", e.Cycles, e.Strong)
+	case obs.KindSpanStart:
+		add("span=%d name=%s", e.Span, e.Name)
+		if e.Parent != 0 {
+			add("parent=%d", e.Parent)
+		}
+	case obs.KindSpanEnd:
+		add("span=%d name=%s cycles=%d", e.Span, e.Name, e.Cycles)
+		if e.Parent != 0 {
+			add("parent=%d", e.Parent)
+		}
 	}
 	return strings.Join(parts, " ")
 }

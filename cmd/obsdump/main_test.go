@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
@@ -40,12 +41,10 @@ func runMain(t *testing.T, args ...string) string {
 	return out
 }
 
-// TestGolden pins the full pretty-printed rendering — one line per
-// event with kind-specific fields, plus the census — against a trace
-// that covers every event kind. Regenerate with `go test -update`.
-func TestGolden(t *testing.T) {
-	out := runMain(t, filepath.Join("testdata", "trace.jsonl"))
-	golden := filepath.Join("testdata", "trace.golden")
+// checkGolden compares out against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, out, golden string) {
+	t.Helper()
 	if *update {
 		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
 			t.Fatal(err)
@@ -58,6 +57,61 @@ func TestGolden(t *testing.T) {
 	if out != string(want) {
 		t.Errorf("output differs from %s (run `go test -update` if intended)\ngot:\n%s\nwant:\n%s",
 			golden, out, want)
+	}
+}
+
+// TestGolden pins the full pretty-printed rendering — one line per
+// event with kind-specific fields, the census, and the span latency
+// tree — against a trace that covers every event kind. Regenerate with
+// `go test -update`.
+func TestGolden(t *testing.T) {
+	out := runMain(t, filepath.Join("testdata", "trace.jsonl"))
+	checkGolden(t, out, filepath.Join("testdata", "trace.golden"))
+}
+
+// TestGoldenJSON pins the -format json document over the same fixture,
+// so both renderings stay in lockstep with the event schema.
+func TestGoldenJSON(t *testing.T) {
+	out := runMain(t, "-format", "json", filepath.Join("testdata", "trace.jsonl"))
+	checkGolden(t, out, filepath.Join("testdata", "trace.golden.json"))
+	var rep struct {
+		TotalEvents int               `json:"total_events"`
+		Census      map[string]uint64 `json:"census"`
+		Spans       []map[string]any  `json:"spans"`
+		Events      []map[string]any  `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-format json output is not valid JSON: %v", err)
+	}
+	if rep.TotalEvents != 28 || len(rep.Events) != 28 {
+		t.Errorf("total_events=%d events=%d, want 28/28", rep.TotalEvents, len(rep.Events))
+	}
+	if rep.Census["span_start"] != 5 || rep.Census["span_end"] != 3 {
+		t.Errorf("census misses span kinds: %v", rep.Census)
+	}
+	if len(rep.Spans) != 4 {
+		t.Errorf("spans = %v, want 4 names (run active idle sweep)", rep.Spans)
+	}
+}
+
+// TestJSONFilter checks that -kinds and -n narrow the events array but
+// leave total_events, census and spans computed over the whole trace.
+func TestJSONFilter(t *testing.T) {
+	out := runMain(t, "-format", "json", "-kinds", "decode", "-n", "1",
+		filepath.Join("testdata", "trace.jsonl"))
+	var rep struct {
+		TotalEvents int              `json:"total_events"`
+		Spans       []map[string]any `json:"spans"`
+		Events      []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 1 || rep.Events[0]["kind"] != "decode" {
+		t.Errorf("filtered events = %v, want one decode", rep.Events)
+	}
+	if rep.TotalEvents != 28 || len(rep.Spans) != 4 {
+		t.Errorf("summary must cover the whole trace: total=%d spans=%d", rep.TotalEvents, len(rep.Spans))
 	}
 }
 
@@ -81,8 +135,8 @@ func TestKindFilter(t *testing.T) {
 	if listed != 2 {
 		t.Errorf("-kinds refresh_rate -n 2 printed %d matching lines, want 2", listed)
 	}
-	if !strings.Contains(out, "20 events:") {
-		t.Errorf("census should still count all 20 events:\n%s", out)
+	if !strings.Contains(out, "28 events:") {
+		t.Errorf("census should still count all 28 events:\n%s", out)
 	}
 }
 

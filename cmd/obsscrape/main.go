@@ -1,0 +1,108 @@
+// Command obsscrape fetches (or reads) a Prometheus text-format
+// exposition and validates it with the same strict parser the obs
+// package tests itself against — malformed lines, bad label escapes,
+// duplicate TYPE headers or non-numeric values all fail the scrape.
+// CI uses it to prove a live `meccsim -serve` endpoint emits a
+// well-formed /metrics page without adding any external dependency.
+//
+// Usage:
+//
+//	obsscrape [-require name,name,...] [-timeout DUR] [-quiet] URL|FILE|-
+//
+// A URL argument (http:// or https://) is fetched; anything else is a
+// file path, with "-" (or no argument) reading stdin. -require fails
+// the run unless every named metric appears in the scrape (a base name
+// matches its labeled series too). On success the family and sample
+// counts are printed; exit status is non-zero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsscrape:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		require = flag.String("require", "", "comma-separated metric names that must appear")
+		timeout = flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+		quiet   = flag.Bool("quiet", false, "print nothing on success")
+	)
+	flag.Parse()
+	if flag.NArg() > 1 {
+		return fmt.Errorf("at most one source expected")
+	}
+	src := "-"
+	if flag.NArg() == 1 {
+		src = flag.Arg(0)
+	}
+
+	var in io.Reader = os.Stdin
+	switch {
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(src)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			return fmt.Errorf("GET %s: content-type %q, want text/plain", src, ct)
+		}
+		in = resp.Body
+	case src != "-":
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	scrape, err := obs.ParseProm(in)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+
+	if *require != "" {
+		have := map[string]bool{}
+		for _, s := range scrape.Samples {
+			have[s.Name] = true
+			// A histogram or labeled family satisfies its base name.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				have[strings.TrimSuffix(s.Name, suf)] = true
+			}
+		}
+		var missing []string
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !have[want] {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("required metrics missing from scrape: %s", strings.Join(missing, ", "))
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("ok: %d families, %d samples\n", len(scrape.Families), len(scrape.Samples))
+	}
+	return nil
+}

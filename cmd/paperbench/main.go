@@ -9,6 +9,7 @@
 //	           [-scale N] [-seed S] [-parallel P] [-chart]
 //	           [-metrics-out FILE] [-trace-out FILE] [-timeline]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-serve ADDR] [-flight N] [-flight-out FILE] [-linger DUR]
 //
 // -scale divides the paper's 4-billion-instruction slices (footprints
 // and SMD windows shrink coherently); -scale 1 is the paper's full
@@ -20,9 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/batch"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/httpserv"
 	"repro/internal/stats"
 )
 
@@ -75,6 +80,10 @@ func run() error {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		check      = flag.Bool("check", false, "attach run-time invariant checkers to every simulation; violations fail the run")
+		serve      = flag.String("serve", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address while running (e.g. :9090)")
+		flightN    = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder capacity in events (0 disables)")
+		flightOut  = flag.String("flight-out", "", "dump the flight recorder to this file at exit and on incident (- for stdout; default incidents go to stderr)")
+		linger     = flag.Duration("linger", 0, "keep the obs server up this long after the run completes")
 	)
 	flag.Parse()
 
@@ -135,6 +144,13 @@ func run() error {
 	// reuses the same registry. The event log is opt-in via -trace-out /
 	// -timeline.
 	rec := obs.New()
+	var flight *obs.FlightRecorder
+	if *flightN > 0 {
+		flight = obs.NewFlightRecorder(*flightN)
+		rec.SetFlightRecorder(flight)
+	}
+	prog := obs.NewProgress()
+	rec.SetProgress(prog)
 	var elog *obs.EventLog
 	if *traceOut != "" || *timeline {
 		mask, err := obs.ParseKindMask(*traceEvts)
@@ -162,9 +178,60 @@ func run() error {
 	batch.SetObserver(rec)
 	defer batch.SetObserver(nil)
 
+	// Incident handling: dump the flight recorder's tail once on the
+	// first of checker fire, panic, SIGQUIT, or (with -flight-out)
+	// normal exit.
+	dumpFlight := newFlightDumper("paperbench", flight, *flightOut)
+	if flight != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			dumpFlight("SIGQUIT")
+			os.Exit(2)
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				dumpFlight("panic")
+				panic(p)
+			}
+			if *flightOut != "" {
+				dumpFlight("exit")
+			}
+		}()
+	}
+
+	var srv *httpserv.Server
+	if *serve != "" {
+		srv = httpserv.New(httpserv.Config{
+			Registry: rec.Registry(),
+			Progress: prog,
+			Flight:   flight,
+		})
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			return fmt.Errorf("obs server: %w", err)
+		}
+		defer func() {
+			if cerr := srv.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: close obs server:", cerr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "paperbench: obs server on http://%s (/metrics /healthz /progress /flight /debug/pprof)\n", addr)
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "paperbench: obs server lingering %s on http://%s\n", *linger, addr)
+				time.Sleep(*linger)
+			}
+		}()
+	}
+
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Obs: rec}
 	if *check {
 		opts.Check = checker.NewSuite()
+		opts.Check.SetOnViolation(func(v checker.Violation) {
+			dumpFlight("invariant " + v.Invariant)
+		})
 	}
 	if err := opts.Validate(); err != nil {
 		return err
@@ -469,14 +536,22 @@ func run() error {
 		if !selected(e.name) {
 			continue
 		}
+		// /progress reports the exhibit currently running; runMany
+		// refines done/total to the simulation jobs inside it. Each
+		// exhibit is also a wall-clock trace span, sitting alongside the
+		// harness's per-job spans in obsdump's latency summary.
+		prog.SetPhase(e.name)
 		start := time.Now()
+		sp := rec.StartSpan("exhibit:"+e.name, uint64(start.UnixNano()))
 		if err := e.run(); err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
+		sp.End(uint64(time.Now().UnixNano()))
 		d := time.Since(start)
 		timings = append(timings, timing{e.name, d})
 		rec.Gauge("exp_" + e.name + "_wall_seconds").Set(d.Seconds())
 	}
+	prog.SetPhase("done")
 	if len(timings) == 0 {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -515,6 +590,37 @@ func run() error {
 		fmt.Println("\ninvariant checkers: all clean")
 	}
 	return nil
+}
+
+// newFlightDumper returns a dump function that writes the flight
+// recorder's contents as JSONL exactly once, no matter how many
+// incident paths race to trigger it. path selects the sink ("" or an
+// open failure falls back to stderr; "-" is stdout). A nil recorder
+// yields a no-op.
+func newFlightDumper(tool string, f *obs.FlightRecorder, path string) func(reason string) {
+	var once sync.Once
+	return func(reason string) {
+		if f == nil {
+			return
+		}
+		once.Do(func() {
+			w, closeFn := io.Writer(os.Stderr), func() error { return nil }
+			if path != "" {
+				if ww, cf, err := openOut(path); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: flight-out: %v (dumping to stderr)\n", tool, err)
+				} else {
+					w, closeFn = ww, cf
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s: dumping flight recorder (%s, %d events)\n", tool, reason, len(f.Events()))
+			if err := f.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flight dump: %v\n", tool, err)
+			}
+			if err := closeFn(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flight dump close: %v\n", tool, err)
+			}
+		})
+	}
 }
 
 // printCounters renders the non-zero counters accumulated across every

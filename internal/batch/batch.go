@@ -44,9 +44,11 @@ func loadCounters() *counters {
 }
 
 // SetObserver wires the fork-join counters to a recorder (nil
-// detaches). Safe to call concurrently with For traffic: the counter
-// set is published atomically as a unit.
+// detaches), and the default pool's per-worker metrics along with them.
+// Safe to call concurrently with For traffic: the counter set is
+// published atomically as a unit.
 func SetObserver(r *obs.Recorder) {
+	Default().SetObserver(r)
 	if r == nil {
 		obsState.Store(nil)
 		return

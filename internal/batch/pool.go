@@ -2,7 +2,12 @@ package batch
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // span is one contiguous shard of work shipped to a pool worker.
@@ -36,6 +41,51 @@ type Pool struct {
 	// the span sends and read by workers after the receive, so the
 	// channel send/receive pair orders the accesses.
 	fn func(worker, lo, hi int)
+	// pobs is the per-worker telemetry set, swapped atomically as a unit
+	// (same discipline as the package-level counters): nil reads as
+	// detached and costs one branch per shard.
+	pobs atomic.Pointer[poolCounters]
+}
+
+// poolCounters is one consistent set of per-pool/per-worker metrics.
+type poolCounters struct {
+	rec    *obs.Recorder
+	runs   *obs.Counter
+	inline *obs.Counter
+	// Per-worker shard/item/busy-time counters, indexed by worker. Busy
+	// time is wall nanoseconds inside the shard body; comparing a
+	// worker's share against the total exposes shard imbalance (the
+	// pool's analogue of a steal/idle ratio).
+	chunksW []*obs.Counter
+	itemsW  []*obs.Counter
+	busyW   []*obs.Counter
+}
+
+// SetObserver attaches per-pool and per-worker metrics to the pool
+// (nil detaches). The per-worker series are labeled
+// batch_pool_worker_*_total{worker="N"}. Safe to call while Run
+// traffic is in flight.
+func (p *Pool) SetObserver(r *obs.Recorder) {
+	if r == nil {
+		p.pobs.Store(nil)
+		return
+	}
+	reg := r.Registry()
+	reg.SetHelp("batch_pool_worker_busy_ns_total",
+		"Wall nanoseconds each pool worker spent inside shard bodies.")
+	pc := &poolCounters{
+		rec:    r,
+		runs:   r.Counter("batch_pool_runs_total"),
+		inline: r.Counter("batch_pool_inline_runs_total"),
+	}
+	for w := 0; w < p.workers; w++ {
+		lbl := strconv.Itoa(w)
+		pc.chunksW = append(pc.chunksW, r.Counter(obs.SeriesName("batch_pool_worker_chunks_total", "worker", lbl)))
+		pc.itemsW = append(pc.itemsW, r.Counter(obs.SeriesName("batch_pool_worker_items_total", "worker", lbl)))
+		pc.busyW = append(pc.busyW, r.Counter(obs.SeriesName("batch_pool_worker_busy_ns_total", "worker", lbl)))
+	}
+	r.Gauge("batch_pool_workers").Set(float64(p.workers))
+	p.pobs.Store(pc)
 }
 
 // NewPool starts a pool of the given number of worker goroutines.
@@ -53,7 +103,17 @@ func NewPool(workers int) *Pool {
 		p.spans[w] = ch
 		go func(w int) {
 			for sp := range ch {
-				p.fn(w, sp.lo, sp.hi)
+				// The clock reads bracket the shard only when telemetry is
+				// attached, so untelemetered sweeps never touch wall time.
+				if pc := p.pobs.Load(); pc != nil {
+					start := time.Now()
+					p.fn(w, sp.lo, sp.hi)
+					pc.busyW[w].Add(uint64(time.Since(start)))
+					pc.chunksW[w].Inc()
+					pc.itemsW[w].Add(uint64(sp.hi - sp.lo))
+				} else {
+					p.fn(w, sp.lo, sp.hi)
+				}
 				p.wg.Done()
 			}
 		}(w)
@@ -87,6 +147,10 @@ func (p *Pool) Run(n, minPerWorker int, fn func(worker, lo, hi int)) {
 	c := loadCounters()
 	c.calls.Inc()
 	c.items.Add(uint64(n))
+	pc := p.pobs.Load()
+	if pc != nil {
+		pc.runs.Inc()
+	}
 	if minPerWorker < 1 {
 		minPerWorker = 1
 	}
@@ -96,9 +160,18 @@ func (p *Pool) Run(n, minPerWorker int, fn func(worker, lo, hi int)) {
 	}
 	if shards <= 1 {
 		c.inline.Inc()
+		if pc != nil {
+			pc.inline.Inc()
+			pc.itemsW[0].Add(uint64(n))
+		}
 		//meccvet:allow hotclosure -- caller-supplied shard body; each caller proves its own body at a hotpath root
 		fn(0, 0, n)
 		return
+	}
+	var sweepSpan *obs.Span
+	if pc != nil && pc.rec.Tracing() {
+		//meccvet:allow hotclosure -- span bookkeeping runs only on traced sweeps; untraced runs take the nil path
+		sweepSpan = pc.rec.StartSpan("batch_run", uint64(time.Now().UnixNano()))
 	}
 	p.mu.Lock()
 	p.fn = fn
@@ -119,6 +192,10 @@ func (p *Pool) Run(n, minPerWorker int, fn func(worker, lo, hi int)) {
 	p.wg.Wait()
 	p.fn = nil
 	p.mu.Unlock()
+	if sweepSpan != nil {
+		//meccvet:allow hotclosure -- traced sweeps only; see above
+		sweepSpan.End(uint64(time.Now().UnixNano()))
+	}
 }
 
 // defaultPool is the shared process-wide pool, sized to GOMAXPROCS at

@@ -65,30 +65,53 @@ func (v Violation) String() string {
 //
 //meccvet:nilsafe
 type Suite struct {
-	mu         sync.Mutex
-	violations []Violation
-	dropped    uint64
+	mu          sync.Mutex
+	violations  []Violation
+	dropped     uint64
+	onViolation func(Violation)
 }
 
 // NewSuite returns an empty suite.
 func NewSuite() *Suite { return &Suite{} }
+
+// SetOnViolation installs a callback fired once per retained violation
+// (drops past the retention cap do not fire it). The command layer uses
+// this to dump the flight recorder the moment an invariant breaks, while
+// the machine state that produced the breach is still in the ring. The
+// callback runs outside the suite's lock — it may call back into the
+// suite — but must itself be safe for concurrent use, since trackers on
+// parallel runs report concurrently. Nil-safe; nil fn clears it.
+func (s *Suite) SetOnViolation(fn func(Violation)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onViolation = fn
+	s.mu.Unlock()
+}
 
 // Report records a violation. Nil-safe.
 func (s *Suite) Report(invariant string, at uint64, format string, args ...any) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.violations) >= maxViolations {
-		s.dropped++
-		return
-	}
-	s.violations = append(s.violations, Violation{
+	v := Violation{
 		Invariant: invariant,
 		At:        at,
 		Detail:    fmt.Sprintf(format, args...),
-	})
+	}
+	s.mu.Lock()
+	if len(s.violations) >= maxViolations {
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.violations = append(s.violations, v)
+	fn := s.onViolation
+	s.mu.Unlock()
+	if fn != nil {
+		fn(v)
+	}
 }
 
 // Violations returns a copy of the recorded violations. Nil-safe.

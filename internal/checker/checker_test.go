@@ -34,6 +34,31 @@ func TestSuiteErr(t *testing.T) {
 	}
 }
 
+func TestSuiteOnViolation(t *testing.T) {
+	s := NewSuite()
+	var fired []Violation
+	s.SetOnViolation(func(v Violation) {
+		fired = append(fired, v)
+		// The callback runs outside the lock, so re-entering the suite
+		// must not deadlock.
+		_ = s.Violations()
+	})
+	s.Report("refresh-ratio", 7, "planted")
+	if len(fired) != 1 || fired[0].Invariant != "refresh-ratio" || fired[0].At != 7 {
+		t.Fatalf("callback fired = %+v, want one refresh-ratio@7", fired)
+	}
+	for i := 0; i < maxViolations+5; i++ {
+		s.Report("spam", uint64(i), "v%d", i)
+	}
+	if len(fired) != maxViolations {
+		t.Fatalf("callback fired %d times, want %d (drops must not fire)", len(fired), maxViolations)
+	}
+	s.SetOnViolation(nil)
+	var nilSuite *Suite
+	nilSuite.SetOnViolation(func(Violation) { t.Fatal("nil suite fired callback") })
+	nilSuite.Report("x", 0, "ignored")
+}
+
 func TestSuiteRetentionCap(t *testing.T) {
 	s := NewSuite()
 	for i := 0; i < maxViolations+10; i++ {

@@ -238,6 +238,13 @@ func (c *Controller) SetObserver(r *obs.Recorder) {
 	c.cStrongReads = r.Counter("mecc_strong_reads_total")
 	c.cWeakReads = r.Counter("mecc_weak_reads_total")
 	c.cDowngrades = r.Counter("mecc_downgrades_total")
+	// Expose the read counters under a per-ECC-mode label too: the alias
+	// shares the underlying cell, so the live breakdown costs the hot
+	// path nothing.
+	reg := r.Registry()
+	reg.SetHelp("mecc_reads_total", "Demand reads by the ECC mode that decoded them.")
+	reg.AliasCounter(obs.SeriesName("mecc_reads_total", "mode", "strong"), "mecc_strong_reads_total")
+	reg.AliasCounter(obs.SeriesName("mecc_reads_total", "mode", "weak"), "mecc_weak_reads_total")
 	c.cSweeps = r.Counter("mecc_sweeps_total")
 	c.cUpgraded = r.Counter("mecc_upgraded_lines_total")
 	c.cSMDWindows = r.Counter("mecc_smd_windows_total")

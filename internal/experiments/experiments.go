@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/obs"
@@ -101,9 +102,19 @@ type runJob struct {
 }
 
 // runMany executes jobs across a bounded worker pool, preserving order.
+// With telemetry attached it advances the shared progress tracker per
+// completed job and wraps each simulation in a trace span (wall-clock
+// nanoseconds — the harness's clock domain) that the runner's own
+// CPU-cycle "run" span parents under.
 func runMany(jobs []runJob, width int) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	var prog *obs.Progress
+	if len(jobs) > 0 {
+		if prog = jobs[0].cfg.Obs.Progress(); prog != nil {
+			prog.SetWork(0, uint64(len(jobs)))
+		}
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, width)
 	for i := range jobs {
@@ -112,7 +123,15 @@ func runMany(jobs []runJob, width int) ([]sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var sp *obs.Span
+			if rec := j.cfg.Obs; rec.Tracing() {
+				sp = rec.StartSpan(
+					fmt.Sprintf("job:%s/%s", j.prof.Name, j.cfg.Scheme), uint64(time.Now().UnixNano()))
+				j.cfg.SpanParent = sp.ID()
+			}
 			results[slot], errs[slot] = sim.RunBenchmark(j.prof, j.cfg)
+			sp.End(uint64(time.Now().UnixNano()))
+			prog.AddDone(1)
 		}(jobs[i], i)
 	}
 	wg.Wait()

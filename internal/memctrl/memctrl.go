@@ -9,6 +9,7 @@ package memctrl
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/checker"
 	"repro/internal/dram"
@@ -238,7 +239,24 @@ type Controller struct {
 	cDrains    *obs.Counter
 	hLatency   *obs.Histogram
 	gShift     *obs.Gauge
+	// cTier splits refreshes by the divider in force when they issued
+	// (memctrl_tier_refreshes_total{shift="N"}); the last cell absorbs
+	// any deeper divider.
+	cTier [refreshTiers]*obs.Counter
+	// Wheel/queue visibility, published on demand by PublishObs rather
+	// than from the scheduling hot paths.
+	cWheelSched   *obs.Counter
+	cWheelMature  *obs.Counter
+	cWheelCascade *obs.Counter
+	gWheelDepth   *obs.Gauge
+	gReadDepth    *obs.Gauge
+	gWriteDepth   *obs.Gauge
+	lastWheel     sched.Stats
 }
+
+// refreshTiers is the number of per-shift refresh counter cells
+// (shift 0..refreshTiers-2, deeper dividers clamp into the last).
+const refreshTiers = 9
 
 // New builds a controller over a channel. onReadDone is invoked (possibly
 // zero or multiple times per Step) as read data bursts complete; it may be
@@ -271,12 +289,16 @@ func New(ch *dram.Channel, cfg Config, onReadDone func(*Request)) (*Controller, 
 func (c *Controller) Channel() *dram.Channel { return c.ch }
 
 // SetObserver attaches a telemetry recorder (nil detaches): request and
-// refresh counters, the read-latency histogram, and refresh events.
+// refresh counters (total and per-refresh-tier), the read-latency
+// histogram, wheel/queue depth gauges, and refresh events.
 func (c *Controller) SetObserver(r *obs.Recorder) {
 	c.obs = r
 	if r == nil {
 		c.cReads, c.cWrites, c.cRefreshes, c.cDrains = nil, nil, nil, nil
 		c.hLatency, c.gShift = nil, nil
+		c.cTier = [refreshTiers]*obs.Counter{}
+		c.cWheelSched, c.cWheelMature, c.cWheelCascade = nil, nil, nil
+		c.gWheelDepth, c.gReadDepth, c.gWriteDepth = nil, nil, nil
 		return
 	}
 	c.cReads = r.Counter("memctrl_reads_total")
@@ -285,6 +307,40 @@ func (c *Controller) SetObserver(r *obs.Recorder) {
 	c.cDrains = r.Counter("memctrl_write_drains_total")
 	c.hLatency = r.Histogram("memctrl_read_latency_dram_cycles")
 	c.gShift = r.Gauge("memctrl_refresh_shift_bits")
+	reg := r.Registry()
+	reg.SetHelp("memctrl_tier_refreshes_total",
+		"Refresh operations by the divider shift in force when they issued.")
+	for i := range c.cTier {
+		c.cTier[i] = r.Counter(obs.SeriesName("memctrl_tier_refreshes_total",
+			"shift", strconv.Itoa(i)))
+	}
+	reg.SetHelp("sched_wheel_depth", "Pending deadlines on the controller's timing wheel.")
+	c.cWheelSched = r.Counter("sched_wheel_scheduled_total")
+	c.cWheelMature = r.Counter("sched_wheel_matured_total")
+	c.cWheelCascade = r.Counter("sched_wheel_cascades_total")
+	c.gWheelDepth = r.Gauge("sched_wheel_depth")
+	c.gReadDepth = r.Gauge("memctrl_read_queue_depth")
+	c.gWriteDepth = r.Gauge("memctrl_write_queue_depth")
+	c.lastWheel = c.wheel.Stats()
+}
+
+// PublishObs pushes the controller's sampled-state metrics — timing
+// wheel operation deltas and wheel/queue depths — to the attached
+// recorder. The wheel itself keeps plain counters so its hot paths
+// stay atomic-free; callers (the sim loop, a serving tick) invoke this
+// at whatever cadence live scraping needs.
+func (c *Controller) PublishObs() {
+	if c.obs == nil {
+		return
+	}
+	s := c.wheel.Stats()
+	c.cWheelSched.Add(s.Scheduled - c.lastWheel.Scheduled)
+	c.cWheelMature.Add(s.Matured - c.lastWheel.Matured)
+	c.cWheelCascade.Add(s.Cascaded - c.lastWheel.Cascaded)
+	c.lastWheel = s
+	c.gWheelDepth.Set(float64(c.wheel.Len()))
+	c.gReadDepth.Set(float64(len(c.readQ)))
+	c.gWriteDepth.Set(float64(len(c.writeQ)))
 }
 
 // SetChecker attaches a refresh-accounting tracker (nil detaches). The
@@ -898,6 +954,14 @@ func (c *Controller) noteRefresh(bank int) {
 		return
 	}
 	c.cRefreshes.Inc()
+	tier := c.refreshShift
+	if tier < 0 {
+		tier = 0
+	}
+	if tier >= refreshTiers {
+		tier = refreshTiers - 1
+	}
+	c.cTier[tier].Inc()
 	if c.obs.Tracing() {
 		e := obs.Event{T: c.ch.Now(), Kind: obs.KindRefresh, Shift: c.refreshShift}
 		if bank >= 0 {

@@ -53,8 +53,15 @@ const (
 	// KindDecode is one demand-read ECC decode; Cycles is the decode
 	// latency in CPU cycles and Strong selects the ECC-6 decoder.
 	KindDecode
+	// KindSpanStart opens a hierarchical trace span (obs.Span): Span is
+	// the span id, Parent the enclosing span's id (0 for a root), Name
+	// the span label. T is in the emitter's clock domain.
+	KindSpanStart
+	// KindSpanEnd closes a span: Span and Name echo the start event and
+	// Cycles is the duration in the emitter's clock domain.
+	KindSpanEnd
 
-	maxKind = KindDecode
+	maxKind = KindSpanEnd
 )
 
 // kindNames maps kinds to their wire names.
@@ -70,6 +77,8 @@ var kindNames = [maxKind + 1]string{
 	KindSMDDisable:     "smd_disable",
 	KindMDTMark:        "mdt_mark",
 	KindDecode:         "decode",
+	KindSpanStart:      "span_start",
+	KindSpanEnd:        "span_end",
 }
 
 // String renders the kind's wire name.
@@ -178,6 +187,12 @@ type Event struct {
 	Region uint64 `json:"region,omitempty"`
 	// Strong selects the ECC-6 decoder (KindDecode).
 	Strong bool `json:"strong,omitempty"`
+	// Span and Parent are hierarchical trace span ids (KindSpanStart,
+	// KindSpanEnd); Parent is 0 for a root span.
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the span label (KindSpanStart, KindSpanEnd).
+	Name string `json:"name,omitempty"`
 }
 
 // appendJSON appends the event's JSONL encoding (sans newline) to b.
@@ -234,6 +249,19 @@ func (e *Event) appendJSON(b []byte) []byte {
 	}
 	if e.Strong {
 		b = append(b, `,"strong":true`...)
+	}
+	if e.Span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, e.Span, 10)
+	}
+	if e.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, e.Parent, 10)
+	}
+	if e.Name != "" {
+		b = append(b, `,"name":"`...)
+		b = append(b, e.Name...) // span labels are JSON-safe by construction
+		b = append(b, '"')
 	}
 	return append(b, '}')
 }

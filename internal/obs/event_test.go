@@ -26,6 +26,8 @@ func representativeEvents() []Event {
 		{T: 200, Kind: KindMDTMark, Region: 42},
 		{T: 777, Kind: KindDecode, Cycles: 30, Strong: true},
 		{T: 778, Kind: KindDecode, Cycles: 2},
+		{T: 900, Kind: KindSpanStart, Span: 7, Parent: 3, Name: "sweep"},
+		{T: 2100, Kind: KindSpanEnd, Span: 7, Parent: 3, Name: "sweep", Cycles: 1200},
 	}
 }
 

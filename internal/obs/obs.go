@@ -1,17 +1,21 @@
 package obs
 
 // Recorder is the telemetry handle threaded through the simulator: it
-// bundles a metrics registry, an optional structured event log, and an
-// optional time-series sampler. A nil *Recorder is the disabled state —
-// every method is a no-op and every metric handle it returns is a
-// nil no-op — so instrumented packages hold a possibly-nil *Recorder
-// and never branch on "is telemetry on" beyond a nil check.
+// bundles a metrics registry, an optional structured event log, an
+// optional time-series sampler, an optional always-on flight recorder,
+// and an optional live progress tracker. A nil *Recorder is the
+// disabled state — every method is a no-op and every metric handle it
+// returns is a nil no-op — so instrumented packages hold a
+// possibly-nil *Recorder and never branch on "is telemetry on" beyond
+// a nil check.
 //
 //meccvet:nilsafe
 type Recorder struct {
 	reg     *Registry
 	log     *EventLog
 	sampler *Sampler
+	flight  *FlightRecorder
+	prog    *Progress
 }
 
 // New builds a recorder with a fresh registry and no event log or
@@ -34,6 +38,43 @@ func (r *Recorder) SetSampler(s *Sampler) {
 		return
 	}
 	r.sampler = s
+}
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder. With one attached, every emitted event also lands in the
+// ring and Tracing() reports true, so instrumented packages construct
+// events; the ring's record path itself stays lock- and
+// allocation-free.
+func (r *Recorder) SetFlightRecorder(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight = f
+}
+
+// FlightRecorder returns the attached flight recorder, if any.
+func (r *Recorder) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// SetProgress attaches (or, with nil, detaches) a progress tracker.
+func (r *Recorder) SetProgress(p *Progress) {
+	if r == nil {
+		return
+	}
+	r.prog = p
+}
+
+// Progress returns the attached progress tracker, if any (nil-safe to
+// use either way).
+func (r *Recorder) Progress() *Progress {
+	if r == nil {
+		return nil
+	}
+	return r.prog
 }
 
 // Registry returns the metrics registry (nil on a nil recorder).
@@ -85,19 +126,27 @@ func (r *Recorder) Histogram(name string) *Histogram {
 	return r.reg.Histogram(name)
 }
 
-// Emit records one structured event. Callers on hot paths should guard
-// the call (and the Event construction) behind their own nil check of
-// the recorder so the disabled path does no work at all.
+// Emit records one structured event into the event log and/or flight
+// recorder, whichever is attached. Callers on hot paths should guard
+// the call (and the Event construction) behind their own Tracing()
+// check so the disabled path does no work at all. With only a flight
+// recorder attached, Emit takes no locks and allocates nothing.
 func (r *Recorder) Emit(e Event) {
-	if r == nil || r.log == nil {
+	if r == nil {
 		return
 	}
-	r.log.add(e)
+	if r.flight != nil {
+		r.flight.Record(e)
+	}
+	if r.log != nil {
+		r.log.add(e)
+	}
 }
 
-// Tracing reports whether an event log is attached — hot paths use it
-// to skip Event construction entirely when no one is listening.
-func (r *Recorder) Tracing() bool { return r != nil && r.log != nil }
+// Tracing reports whether any event sink (event log or flight
+// recorder) is attached — hot paths use it to skip Event construction
+// entirely when no one is listening.
+func (r *Recorder) Tracing() bool { return r != nil && (r.log != nil || r.flight != nil) }
 
 // Tick advances the sampler, if any, to cycle now.
 func (r *Recorder) Tick(now uint64) {

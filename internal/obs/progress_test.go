@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	p.SetPhase("active")
+	p.SetWork(3, 10)
+	p.AddDone(2)
+	p.SetSimTime(123456)
+	p.SetQuantum(7)
+	got := p.Snapshot()
+	want := ProgressSnapshot{Phase: "active", Done: 5, Total: 10, SimTime: 123456, Quantum: 7}
+	if got != want {
+		t.Errorf("Snapshot() = %+v, want %+v", got, want)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.SetPhase("x")
+	p.SetWork(1, 2)
+	p.AddDone(1)
+	p.SetSimTime(1)
+	p.SetQuantum(1)
+	if got := p.Snapshot(); got != (ProgressSnapshot{}) {
+		t.Errorf("nil Snapshot() = %+v, want zero", got)
+	}
+}
+
+// TestProgressZeroAllocs guards the per-quantum publishing path.
+func TestProgressZeroAllocs(t *testing.T) {
+	var nilP *Progress
+	if n := testing.AllocsPerRun(1000, func() {
+		nilP.SetSimTime(1)
+		nilP.AddDone(1)
+	}); n != 0 {
+		t.Errorf("nil Progress updates allocate %v/op", n)
+	}
+	p := NewProgress()
+	if n := testing.AllocsPerRun(1000, func() {
+		p.SetSimTime(1)
+		p.AddDone(1)
+		p.SetQuantum(2)
+	}); n != 0 {
+		t.Errorf("Progress updates allocate %v/op", n)
+	}
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	// Name is the full metric name (including histogram suffixes such
+	// as _bucket).
+	Name string
+	// Labels holds the label block, if any.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// PromFamily is the parsed metadata of one metric family.
+type PromFamily struct {
+	Name string
+	Type string // counter | gauge | histogram | summary | untyped
+	Help string
+}
+
+// PromScrape is a parsed Prometheus text exposition.
+type PromScrape struct {
+	Families map[string]PromFamily
+	Samples  []PromSample
+}
+
+// promTypes is the closed set of legal # TYPE values.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseProm parses and validates a Prometheus text exposition format
+// (0.0.4) document: metric-name and label grammar, # TYPE values,
+// duplicate TYPE declarations, and float-parsable sample values all
+// fail loudly. It is deliberately tiny — just enough for the CI smoke
+// test and obsscrape to reject malformed output without external
+// dependencies — not a general client library.
+func ParseProm(r io.Reader) (*PromScrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	out := &PromScrape{Families: make(map[string]PromFamily)}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if err := parsePromComment(trimmed, out); err != nil {
+				return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prom read: %w", err)
+	}
+	return out, nil
+}
+
+// parsePromComment handles # HELP / # TYPE lines (other comments are
+// ignored, per the format).
+func parsePromComment(line string, out *PromScrape) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validPromName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		if !promTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		fam := out.Families[name]
+		if fam.Type != "" {
+			return fmt.Errorf("duplicate TYPE declaration for %s", name)
+		}
+		fam.Name, fam.Type = name, typ
+		out.Families[name] = fam
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validPromName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP line", name)
+		}
+		fam := out.Families[name]
+		fam.Name = name
+		if i := strings.Index(line, name); i >= 0 {
+			fam.Help = strings.TrimSpace(line[i+len(name):])
+		}
+		out.Families[name] = fam
+	}
+	return nil
+}
+
+// parsePromSample parses one `name{labels} value [timestamp]` line.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		close := strings.LastIndexByte(rest, '}')
+		if close < brace {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parsePromLabels(rest[brace+1 : close])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !validPromName(name) {
+		return s, fmt.Errorf("invalid metric name %q", name)
+	}
+	s.Name = name
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample line %q needs `value [timestamp]`", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromValue accepts floats plus the format's special values.
+func parsePromValue(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", v)
+	}
+	return f, nil
+}
+
+// parsePromLabels parses the inside of a label block.
+func parsePromLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '='")
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		if !validPromLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label value for %q not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		out[key] = val.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", key)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// validPromName checks the metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if name[0] >= '0' && name[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !validMetricRune(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName checks the label-name grammar [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

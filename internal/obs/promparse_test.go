@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePromValid(t *testing.T) {
+	doc := `# HELP memctrl_reads_total Reads issued by the controller.
+# TYPE memctrl_reads_total counter
+memctrl_reads_total 42
+# TYPE mecc_reads_total counter
+mecc_reads_total{mode="strong"} 40
+mecc_reads_total{mode="weak"} 2
+# TYPE sim_decode_cycles histogram
+sim_decode_cycles_bucket{le="31"} 10
+sim_decode_cycles_bucket{le="+Inf"} 12
+sim_decode_cycles_sum 350
+sim_decode_cycles_count 12
+# TYPE queue_depth gauge
+queue_depth 3.5
+weird_value nan
+escaped{v="a\"b\\c\nd"} 1 1700000000
+`
+	got, err := ParseProm(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 10 {
+		t.Fatalf("parsed %d samples, want 10", len(got.Samples))
+	}
+	if got.Families["memctrl_reads_total"].Type != "counter" {
+		t.Errorf("memctrl_reads_total family = %+v", got.Families["memctrl_reads_total"])
+	}
+	if got.Families["memctrl_reads_total"].Help != "Reads issued by the controller." {
+		t.Errorf("help = %q", got.Families["memctrl_reads_total"].Help)
+	}
+	if got.Samples[1].Labels["mode"] != "strong" || got.Samples[1].Value != 40 {
+		t.Errorf("labeled sample = %+v", got.Samples[1])
+	}
+	last := got.Samples[len(got.Samples)-1]
+	if want := "a\"b\\c\nd"; last.Labels["v"] != want {
+		t.Errorf("escaped label = %q, want %q", last.Labels["v"], want)
+	}
+}
+
+func TestParsePromMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":      "9leading_digit 1\n",
+		"bad value":            "ok_name one\n",
+		"no value":             "ok_name\n",
+		"unknown type":         "# TYPE x countr\n",
+		"duplicate type":       "# TYPE x counter\n# TYPE x counter\n",
+		"unterminated labels":  "x{a=\"1\" 2\n",
+		"unquoted label value": "x{a=1} 2\n",
+		"bad escape":           `x{a="\q"} 2` + "\n",
+		"bad label name":       "x{0a=\"1\"} 2\n",
+		"bad timestamp":        "x 1 soon\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseProm(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ParseProm accepted %q", name, doc)
+		}
+	}
+}
+
+// TestWritePromParsesClean closes the loop: whatever the registry
+// renders, the in-repo parser must accept — the same check the CI
+// smoke test performs over HTTP.
+func TestWritePromParsesClean(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("memctrl_reads_total").Add(7)
+	r.Counter(SeriesName("mecc_reads_total", "mode", "strong")).Add(5)
+	r.Counter(SeriesName("mecc_reads_total", "mode", "weak")).Add(2)
+	r.SetHelp("mecc_reads_total", "Demand reads by ECC mode.")
+	r.Gauge("wheel_depth").Set(12)
+	h := r.Histogram("lat")
+	h.Observe(3)
+	h.Observe(900)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("registry output rejected by parser: %v\n%s", err, b.String())
+	}
+	if scrape.Families["mecc_reads_total"].Help == "" {
+		t.Errorf("help lost in exposition:\n%s", b.String())
+	}
+}

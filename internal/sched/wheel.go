@@ -65,7 +65,26 @@ type Wheel struct {
 	dueTail int32
 	far     int32 // head of beyond-horizon list
 	n       int   // scheduled events (due + wheel + far)
+
+	stats Stats
 }
+
+// Stats are monotonic operation counters, kept as plain words (the
+// wheel is single-threaded) so the hot paths stay branch- and
+// atomic-free; an observer publishes deltas to shared metrics at its
+// own cadence.
+type Stats struct {
+	// Scheduled counts Schedule calls that (re)placed an event.
+	Scheduled uint64
+	// Matured counts events that reached the due list.
+	Matured uint64
+	// Cascaded counts re-placements of not-yet-due events during
+	// Advance — the hierarchical wheel's level-drop traffic.
+	Cascaded uint64
+}
+
+// Stats returns the wheel's operation counters.
+func (w *Wheel) Stats() Stats { return w.stats }
 
 // NewWheel builds a wheel starting at the given time with capacity for
 // ids [0, capacityHint) before any regrowth.
@@ -133,6 +152,7 @@ func (w *Wheel) Schedule(id int32, at uint64) {
 	w.deadline[id] = at
 	w.place(id, at)
 	w.n++
+	w.stats.Scheduled++
 }
 
 // Cancel removes event id if pending (matured-but-unpopped counts as
@@ -187,6 +207,7 @@ func (w *Wheel) place(id int32, at uint64) {
 //
 //meccvet:hotpath
 func (w *Wheel) pushDue(id int32) {
+	w.stats.Matured++
 	w.where[id] = whereDue
 	w.next[id] = nilRef
 	w.prev[id] = w.dueTail
@@ -350,6 +371,7 @@ func (w *Wheel) flushLevel(lvl, limit int, matureAll bool) {
 			if matureAll || w.deadline[id] <= w.now {
 				w.pushDue(id)
 			} else {
+				w.stats.Cascaded++
 				w.place(id, w.deadline[id])
 			}
 			id = nx

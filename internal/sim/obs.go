@@ -9,8 +9,13 @@ func (r *Runner) attachObserver() {
 	rec := r.cfg.Obs
 	r.obs = rec
 	r.hDecode = rec.Histogram("sim_decode_cycles")
+	r.prog = rec.Progress()
 	r.ch.SetObserver(rec)
 	r.ctl.SetObserver(rec)
+	// The run-root span anchors the phase hierarchy (run → active/idle →
+	// sweep) in the CPU-cycle clock domain; nil when not tracing. An
+	// experiment-harness job span may claim it as a child.
+	r.runSpan = rec.StartSpanUnder("run", r.cfg.SpanParent, 0)
 }
 
 // noteDecode accounts one demand read's ECC decode latency (CPU cycles)

@@ -33,8 +33,11 @@ func (r *Runner) RunActive(instructions int64) error {
 		return fmt.Errorf("%w: RunActive while idle", core.ErrBadPhase)
 	}
 	r.segmentBudget = instructions
+	r.prog.SetPhase("active")
 	start := r.cpu.Now()
+	sp := r.runSpan.Child("active", start)
 	err := r.runLoop()
+	sp.End(r.cpu.Now())
 	r.activeCycles += r.cpu.Now() - start
 	return err
 }
@@ -58,11 +61,18 @@ func (r *Runner) GoIdle(duration time.Duration) error {
 	clear(r.prefInflight)
 	clear(r.prefInflightAddr)
 	r.prefFIFO = r.prefFIFO[:0]
-	// The scheme's idle transition (ECC-Upgrade for MECC).
+	r.prog.SetPhase("idle")
+	r.idleSpan = r.runSpan.Child("idle", r.cpu.Now())
+	// The scheme's idle transition (ECC-Upgrade for MECC). The sweep
+	// span's extent is the modeled sweep latency: the CPU clock itself
+	// does not advance until the wake-up resync.
+	sweepSpan := r.idleSpan.Child("sweep", r.cpu.Now())
 	tr, err := r.sch.enterIdle(r.cpu.Now())
 	if err != nil {
+		sweepSpan.End(r.cpu.Now())
 		return err
 	}
+	sweepSpan.End(r.cpu.Now() + tr.SweepCycles)
 	r.lastTransition = tr
 	// The sweep occupies the memory for SweepCycles of CPU time; model
 	// its residency as active-standby time plus the line traffic energy
@@ -118,6 +128,8 @@ func (r *Runner) WakeUp() error {
 	if err := r.sch.exitIdle(r.cpu.Now()); err != nil {
 		return err
 	}
+	r.idleSpan.End(r.cpu.Now())
+	r.idleSpan = nil
 	r.updateRefreshShift()
 	r.idle = false
 	return nil

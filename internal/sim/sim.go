@@ -51,6 +51,10 @@ type Config struct {
 	// keeps the hot paths on their zero-allocation no-op branches and
 	// leaves results bit-identical.
 	Obs *obs.Recorder
+	// SpanParent, when non-zero, parents the runner's root trace span
+	// under an enclosing span (e.g. an experiment-harness job span), so
+	// obsdump can stitch run → experiment hierarchies across packages.
+	SpanParent uint64
 	// Check, when non-nil, attaches run-time invariant checkers to every
 	// layer (internal/checker): refresh-ratio accounting, MECC shadow
 	// state, and energy/cycle consistency. Nil — the default — compiles
@@ -141,6 +145,15 @@ type Runner struct {
 	// Telemetry (nil-safe; see attachObserver).
 	obs     *obs.Recorder
 	hDecode *obs.Histogram
+	prog    *obs.Progress
+	// Trace spans: the run root plus the currently open idle-phase span
+	// (opened by GoIdle, closed by WakeUp). Nil when not tracing.
+	runSpan  *obs.Span
+	idleSpan *obs.Span
+	// obsTickN counts processed trace records so sampled-state metrics
+	// (wheel/queue depths) publish on a coarse cadence, off the per-record
+	// path.
+	obsTickN uint64
 
 	// Invariant checking (nil-safe; see attachChecker).
 	rchk        *checker.RefreshTracker
@@ -450,6 +463,15 @@ func (r *Runner) runLoop() error {
 		}
 		if r.obs != nil {
 			r.obs.Tick(r.cpu.Now())
+			r.prog.SetSimTime(r.cpu.Now())
+			r.prog.SetWork(r.cpu.Retired(), uint64(r.cfg.Instructions))
+			r.obsTickN++
+			if r.obsTickN&1023 == 0 {
+				if s := r.obs.Sampler(); s != nil && s.Quantum() > 0 {
+					r.prog.SetQuantum(r.cpu.Now() / s.Quantum())
+				}
+				r.ctl.PublishObs()
+			}
 		}
 		if checkAt > 0 && int64(r.cpu.Retired()) >= checkAt*int64(len(r.checkpoints)+1) {
 			r.checkpoints = append(r.checkpoints, Checkpoint{
@@ -465,10 +487,18 @@ func (r *Runner) runLoop() error {
 	if _, err := r.ctl.DrainAll(10_000_000); err != nil {
 		return err
 	}
+	if r.obs != nil {
+		r.prog.SetSimTime(r.cpu.Now())
+		r.ctl.PublishObs()
+	}
 	return nil
 }
 
 func (r *Runner) result(checkpoints []Checkpoint) Result {
+	if r.runSpan != nil {
+		r.runSpan.End(r.cpu.Now())
+		r.runSpan = nil
+	}
 	ds := r.ch.Stats()
 	cs := r.ctl.Stats()
 	counts := r.sch.counts()
