@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo obs-smoke obs-demo fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo obs-smoke obs-demo scenarios scenarios-short fuzz fuzz-short clean
 
 # Pinned staticcheck release for CI; `make lint` uses a local install
 # when one is on PATH and skips it (with a note) otherwise.
@@ -93,6 +93,15 @@ obs-smoke:
 # (see DESIGN.md Observability).
 obs-demo:
 	GO=$(GO) sh scripts/obs_smoke.sh demo
+
+# Run every built-in scenario (internal/scenario/specs) end to end and
+# evaluate the declared invariants; nonzero exit on any failure. The
+# -short variant runs the fast subset CI uses on pull requests.
+scenarios:
+	$(GO) run ./cmd/meccscn run -v
+
+scenarios-short:
+	$(GO) run ./cmd/meccscn run -short
 
 # Short fuzz session over the parsers and the BCH decoder.
 fuzz:

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runMeccscn invokes run() with the given arguments, capturing stdout
+// and stderr separately and returning them with the exit code.
+func runMeccscn(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	capture := func(f **os.File) (restore func() string) {
+		old := *f
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		*f = w
+		ch := make(chan string)
+		go func() {
+			b, _ := io.ReadAll(r)
+			ch <- string(b)
+		}()
+		return func() string {
+			w.Close()
+			*f = old
+			return <-ch
+		}
+	}
+	restoreOut := capture(&os.Stdout)
+	restoreErr := capture(&os.Stderr)
+	code = run(args)
+	stdout = restoreOut()
+	stderr = restoreErr()
+	return stdout, stderr, code
+}
+
+func checkGolden(t *testing.T, got, golden string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestValidateMalformedGolden pins the validate subcommand's error
+// message for each malformed-spec class — unknown field, bad phase
+// ordering, invariant referencing a missing metric, negative duration,
+// duplicate scenario name. The message is user interface: it must name
+// the file, the offending phase or field, and the rule.
+func TestValidateMalformedGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		files []string
+	}{
+		{"unknown-field", []string{"unknown-field.json"}},
+		{"bad-phase-ordering", []string{"bad-phase-ordering.json"}},
+		{"missing-metric", []string{"missing-metric.json"}},
+		{"negative-duration", []string{"negative-duration.json"}},
+		{"duplicate-name", []string{"duplicate-a.json", "duplicate-b.json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := []string{"validate"}
+			for _, f := range tc.files {
+				args = append(args, filepath.Join("testdata", "malformed", f))
+			}
+			_, stderr, code := runMeccscn(t, args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1", code)
+			}
+			checkGolden(t, stderr, filepath.Join("testdata", tc.name+".golden"))
+		})
+	}
+}
+
+// TestValidateBuiltinSpecsOnDisk validates the committed spec directory
+// through the CLI path (LoadDir), not just the embedded copies.
+func TestValidateBuiltinSpecsOnDisk(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "scenario", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"validate"}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			args = append(args, filepath.Join(dir, e.Name()))
+		}
+	}
+	stdout, stderr, code := runMeccscn(t, args...)
+	if code != 0 {
+		t.Fatalf("validate failed (%d):\n%s%s", code, stdout, stderr)
+	}
+}
+
+// TestListAndMetrics smoke-tests the list subcommand.
+func TestListAndMetrics(t *testing.T) {
+	stdout, _, code := runMeccscn(t, "list")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	for _, want := range []string{"fig1-idle-pattern", "fault-storm", "[short]"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+	stdout, _, code = runMeccscn(t, "list", "-metrics")
+	if code != 0 {
+		t.Fatalf("list -metrics exit %d", code)
+	}
+	if !strings.Contains(stdout, "mecc.sweeps") || !strings.Contains(stdout, "uncorrectable_prob") {
+		t.Errorf("metric list incomplete:\n%s", stdout)
+	}
+}
+
+// TestRunShortSubset runs the short built-in subset end-to-end through
+// the CLI, including JSONL output.
+func TestRunShortSubset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	stdout, stderr, code := runMeccscn(t, "run", "-short", "-workers", "2", "-out", out)
+	if code != 0 {
+		t.Fatalf("run -short exit %d:\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "scenarios passed") {
+		t.Errorf("missing summary line:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"rec":"summary"`) {
+		t.Errorf("JSONL missing summary record")
+	}
+}
+
+// TestRunUnknownScenarioRegex exercises the empty-selection path.
+func TestRunUnknownScenarioRegex(t *testing.T) {
+	_, stderr, code := runMeccscn(t, "run", "-run", "no-such-scenario")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "no scenarios selected") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}

@@ -52,10 +52,18 @@ type Violation struct {
 	At uint64
 	// Detail is a human-readable description.
 	Detail string
+	// Context is the suite's context label at report time (see
+	// SetContext): typically "scenario/phase" for scenario-driven runs,
+	// empty for plain runs. A sim-time alone does not say which phase of
+	// a multi-phase workload was executing; the label does.
+	Context string
 }
 
 // String renders the violation for logs and test failures.
 func (v Violation) String() string {
+	if v.Context != "" {
+		return fmt.Sprintf("[%s] %s@%d: %s", v.Context, v.Invariant, v.At, v.Detail)
+	}
 	return fmt.Sprintf("%s@%d: %s", v.Invariant, v.At, v.Detail)
 }
 
@@ -69,6 +77,7 @@ type Suite struct {
 	violations  []Violation
 	dropped     uint64
 	onViolation func(Violation)
+	context     string
 }
 
 // NewSuite returns an empty suite.
@@ -90,7 +99,30 @@ func (s *Suite) SetOnViolation(fn func(Violation)) {
 	s.mu.Unlock()
 }
 
-// Report records a violation. Nil-safe.
+// SetContext labels subsequently reported violations with a run context
+// (e.g. "scenario-name/phase-name"), so failures from multi-phase runs
+// are self-describing. An empty string clears the label. Nil-safe.
+func (s *Suite) SetContext(label string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.context = label
+	s.mu.Unlock()
+}
+
+// Context returns the current context label. Nil-safe.
+func (s *Suite) Context() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.context
+}
+
+// Report records a violation stamped with the current context label.
+// Nil-safe.
 func (s *Suite) Report(invariant string, at uint64, format string, args ...any) {
 	if s == nil {
 		return
@@ -101,6 +133,7 @@ func (s *Suite) Report(invariant string, at uint64, format string, args ...any) 
 		Detail:    fmt.Sprintf(format, args...),
 	}
 	s.mu.Lock()
+	v.Context = s.context
 	if len(s.violations) >= maxViolations {
 		s.dropped++
 		s.mu.Unlock()

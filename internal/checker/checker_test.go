@@ -423,3 +423,38 @@ func TestRefreshFaultsConsumption(t *testing.T) {
 		t.Fatal("nil plan must be inert")
 	}
 }
+
+func TestSuiteContextLabel(t *testing.T) {
+	s := NewSuite()
+	s.Report("refresh-ratio", 10, "unlabelled")
+	s.SetContext("phone-day/hot-idle")
+	s.Report("refresh-ratio", 20, "labelled")
+	s.SetContext("")
+	s.Report("refresh-ratio", 30, "cleared")
+	v := s.Violations()
+	if len(v) != 3 {
+		t.Fatalf("violations = %d, want 3", len(v))
+	}
+	if v[0].Context != "" || v[2].Context != "" {
+		t.Errorf("contexts leaked outside the labelled window: %q, %q", v[0].Context, v[2].Context)
+	}
+	if v[1].Context != "phone-day/hot-idle" {
+		t.Errorf("context = %q, want phone-day/hot-idle", v[1].Context)
+	}
+	if got, want := v[1].String(), "[phone-day/hot-idle] refresh-ratio@20: labelled"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := v[0].String(), "refresh-ratio@10: unlabelled"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if s.Context() != "" {
+		t.Errorf("Context() = %q after clear", s.Context())
+	}
+
+	// Nil-safety: the hooks must be inert on a nil suite.
+	var nilSuite *Suite
+	nilSuite.SetContext("x")
+	if nilSuite.Context() != "" {
+		t.Error("nil suite context must be empty")
+	}
+}

@@ -71,3 +71,17 @@ func (c *Core) StallUntil(cycle uint64) {
 
 // BaseCPI returns the configured non-memory CPI.
 func (c *Core) BaseCPI() float64 { return c.baseCPI }
+
+// SetBaseCPI changes the non-memory CPI mid-run — the hook behind
+// per-phase workload switching and first-order DVFS modelling in the
+// scenario framework (a frequency step scales how much non-memory work
+// fits in a cycle). The fractional-cycle carry is preserved, so a
+// switch never loses or invents partial cycles. The 2-wide retire bound
+// still applies.
+func (c *Core) SetBaseCPI(cpi float64) error {
+	if cpi < 0.5 {
+		return fmt.Errorf("%w: %v", ErrBadCPI, cpi)
+	}
+	c.baseCPI = cpi
+	return nil
+}

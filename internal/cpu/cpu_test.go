@@ -91,3 +91,30 @@ func TestZeroState(t *testing.T) {
 		t.Error("fresh core not zeroed")
 	}
 }
+
+func TestSetBaseCPI(t *testing.T) {
+	c, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBaseCPI(0.4); err == nil {
+		t.Error("CPI below 0.5: want error")
+	}
+	if err := c.SetBaseCPI(1.25); err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseCPI() != 1.25 {
+		t.Errorf("BaseCPI = %v", c.BaseCPI())
+	}
+	// The fractional carry survives the switch: 1 instr at 0.5 leaves
+	// frac 0.5; two more at 1.25 add 2.5 -> now 3 exactly.
+	c2, _ := New(0.5)
+	c2.Execute(1)
+	if err := c2.SetBaseCPI(1.25); err != nil {
+		t.Fatal(err)
+	}
+	c2.Execute(2)
+	if c2.Now() != 3 {
+		t.Errorf("now = %d, want 3", c2.Now())
+	}
+}

@@ -268,3 +268,120 @@ func (v *VRTPopulation) ActiveFailures() []VRTCell {
 
 // Cells returns the full VRT population.
 func (v *VRTPopulation) Cells() []VRTCell { return v.cells }
+
+// Operating-range bounds for junction-temperature inputs. LPDDR parts
+// are specified from -40 degC to an extended-temperature ceiling; inputs
+// outside this window are rejected with ErrBadTemperature rather than
+// clamped, so a mistyped profile fails loudly instead of silently
+// simulating a physically meaningless device.
+const (
+	// MinTempC is the lowest accepted junction temperature.
+	MinTempC = -40.0
+	// MaxTempC is the highest accepted junction temperature.
+	MaxTempC = 125.0
+)
+
+// ErrBadTemperature reports a junction temperature outside
+// [MinTempC, MaxTempC].
+var ErrBadTemperature = errors.New("retention: temperature out of range")
+
+// ErrBadProfile reports an invalid temperature-profile step sequence.
+var ErrBadProfile = errors.New("retention: profile steps must have increasing start times")
+
+// CheckTemp validates a junction temperature against the operating
+// range, returning a wrapped ErrBadTemperature when it is outside
+// [MinTempC, MaxTempC] or NaN.
+func CheckTemp(tempC float64) error {
+	if math.IsNaN(tempC) || tempC < MinTempC || tempC > MaxTempC {
+		return fmt.Errorf("%w: %g degC (want %g..%g)", ErrBadTemperature, tempC, MinTempC, MaxTempC)
+	}
+	return nil
+}
+
+// TempStep is one piece of a piecewise-constant temperature profile: the
+// junction temperature is TempC from Start until the next step.
+type TempStep struct {
+	// Start is the step's activation time on the profile's clock.
+	Start time.Duration
+	// TempC is the junction temperature from Start on.
+	TempC float64
+}
+
+// TempProfile is a piecewise-constant junction-temperature trajectory —
+// the hook the scenario framework uses to model thermal drift shifting
+// the retention curve mid-run. It is immutable after construction.
+type TempProfile struct {
+	steps []TempStep
+}
+
+// NewTempProfile builds a profile from steps ordered by strictly
+// increasing Start, the first of which must start at 0 so every instant
+// has a defined temperature. Each step's temperature must pass
+// CheckTemp.
+func NewTempProfile(steps ...TempStep) (*TempProfile, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: no steps", ErrBadProfile)
+	}
+	if steps[0].Start != 0 {
+		return nil, fmt.Errorf("%w: first step starts at %v, want 0", ErrBadProfile, steps[0].Start)
+	}
+	for i, s := range steps {
+		if err := CheckTemp(s.TempC); err != nil {
+			return nil, fmt.Errorf("step %d: %w", i, err)
+		}
+		if i > 0 && s.Start <= steps[i-1].Start {
+			return nil, fmt.Errorf("%w: step %d at %v after %v", ErrBadProfile, i, s.Start, steps[i-1].Start)
+		}
+	}
+	return &TempProfile{steps: append([]TempStep(nil), steps...)}, nil
+}
+
+// ConstantTemp is a single-step profile at one temperature.
+func ConstantTemp(tempC float64) (*TempProfile, error) {
+	return NewTempProfile(TempStep{Start: 0, TempC: tempC})
+}
+
+// At returns the temperature at time t (times before 0 read the first
+// step).
+func (p *TempProfile) At(t time.Duration) float64 {
+	cur := p.steps[0].TempC
+	for _, s := range p.steps[1:] {
+		if s.Start > t {
+			break
+		}
+		cur = s.TempC
+	}
+	return cur
+}
+
+// MaxOver returns the hottest temperature the profile reaches in
+// [from, to] — the conservative input for retention-safety checks over
+// an interval (retention only degrades with heat).
+func (p *TempProfile) MaxOver(from, to time.Duration) float64 {
+	if to < from {
+		from, to = to, from
+	}
+	hottest := p.At(from)
+	for _, s := range p.steps {
+		if s.Start > from && s.Start <= to && s.TempC > hottest {
+			hottest = s.TempC
+		}
+	}
+	return hottest
+}
+
+// Steps returns a copy of the profile's steps.
+func (p *TempProfile) Steps() []TempStep {
+	return append([]TempStep(nil), p.steps...)
+}
+
+// WorstBEROver returns the bit failure probability at a refresh period
+// under the hottest temperature the profile reaches in [from, to] — the
+// guardband number a scheme must budget for when it commits to a
+// refresh divider for that interval.
+func (m *Model) WorstBEROver(period time.Duration, p *TempProfile, from, to time.Duration) float64 {
+	if p == nil {
+		return m.BER(period)
+	}
+	return m.BERAtTemp(period, p.MaxOver(from, to))
+}

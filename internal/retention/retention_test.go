@@ -1,6 +1,7 @@
 package retention
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -254,5 +255,104 @@ func TestFailureMapReproducible(t *testing.T) {
 	}
 	if len(a) == 0 {
 		t.Fatal("expected some failures at this BER; map was empty")
+	}
+}
+
+func TestCheckTemp(t *testing.T) {
+	for _, ok := range []float64{-40, 0, 45, 85, 125} {
+		if err := CheckTemp(ok); err != nil {
+			t.Errorf("CheckTemp(%g) = %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{-41, 126, math.NaN()} {
+		err := CheckTemp(bad)
+		if !errors.Is(err, ErrBadTemperature) {
+			t.Errorf("CheckTemp(%g) = %v, want ErrBadTemperature", bad, err)
+		}
+	}
+}
+
+func TestTempProfileValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []TempStep
+		want  error
+	}{
+		{"empty", nil, ErrBadProfile},
+		{"nonzero-start", []TempStep{{Start: time.Second, TempC: 45}}, ErrBadProfile},
+		{"unordered", []TempStep{{0, 45}, {2 * time.Second, 55}, {time.Second, 65}}, ErrBadProfile},
+		{"duplicate-start", []TempStep{{0, 45}, {0, 55}}, ErrBadProfile},
+		{"too-hot", []TempStep{{0, 200}}, ErrBadTemperature},
+		{"too-cold", []TempStep{{0, 45}, {time.Second, -80}}, ErrBadTemperature},
+	}
+	for _, tc := range cases {
+		if _, err := NewTempProfile(tc.steps...); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTempProfileAtAndMaxOver(t *testing.T) {
+	p, err := NewTempProfile(
+		TempStep{0, 45},
+		TempStep{10 * time.Second, 70},
+		TempStep{20 * time.Second, 55},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{-time.Second, 45}, {0, 45}, {9 * time.Second, 45},
+		{10 * time.Second, 70}, {15 * time.Second, 70},
+		{20 * time.Second, 55}, {time.Hour, 55},
+	} {
+		if got := p.At(tc.at); got != tc.want {
+			t.Errorf("At(%v) = %g, want %g", tc.at, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		from, to time.Duration
+		want     float64
+	}{
+		{0, 5 * time.Second, 45},
+		{0, 10 * time.Second, 70},
+		{12 * time.Second, 14 * time.Second, 70},
+		{21 * time.Second, 30 * time.Second, 55},
+		{0, time.Hour, 70},
+		// Reversed bounds are normalized.
+		{time.Hour, 0, 70},
+	} {
+		if got := p.MaxOver(tc.from, tc.to); got != tc.want {
+			t.Errorf("MaxOver(%v,%v) = %g, want %g", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestWorstBEROverMatchesHottestStep(t *testing.T) {
+	m := DefaultModel()
+	p, err := NewTempProfile(TempStep{0, 45}, TempStep{time.Minute, 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval confined to the cool step: nominal BER.
+	cool := m.WorstBEROver(SlowPeriod, p, 0, 30*time.Second)
+	if got := m.BER(SlowPeriod); cool != got {
+		t.Errorf("cool interval BER = %g, want nominal %g", cool, got)
+	}
+	// Interval crossing the hot step: the 65 degC number, which must be
+	// strictly worse (retention halves per 10 degC).
+	hot := m.WorstBEROver(SlowPeriod, p, 0, 2*time.Minute)
+	if want := m.BERAtTemp(SlowPeriod, 65); hot != want {
+		t.Errorf("hot interval BER = %g, want %g", hot, want)
+	}
+	if hot <= cool {
+		t.Errorf("hot BER %g not worse than cool %g", hot, cool)
+	}
+	// Nil profile falls back to the nominal curve.
+	if got := m.WorstBEROver(SlowPeriod, nil, 0, 0); got != m.BER(SlowPeriod) {
+		t.Errorf("nil profile BER = %g", got)
 	}
 }

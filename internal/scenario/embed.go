@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+)
+
+// specFS embeds the seed scenario library so the test binary, the CI
+// matrix, and cmd/meccscn all run the exact committed specs without a
+// working-directory dependency.
+//
+//go:embed specs/*.json
+var specFS embed.FS
+
+// Builtin returns the embedded seed scenarios, validated as a set and
+// sorted by file name.
+func Builtin() ([]Spec, error) {
+	return loadFS(specFS, "specs")
+}
+
+// BuiltinByName returns one embedded scenario.
+func BuiltinByName(name string) (Spec, error) {
+	specs, err := Builtin()
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("%w: unknown scenario %q", ErrBadSpec, name)
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Metric flattening: invariants reference simulator results by dotted
+// JSON-tag paths ("dram.n_self_refresh_pulses", "ctrl.refreshes_dropped",
+// "mecc.sweeps", "ipc"). The walk uses the struct tags via reflection
+// rather than round-tripping through json.Marshal because omitempty
+// drops zero-valued fields — the validation key set must contain every
+// metric a run can produce, not just the nonzero ones.
+
+// Derived metric names computed by the interpreter on top of the result
+// struct.
+const (
+	// MetricTotalEnergyJ is DRAM plus codec energy.
+	MetricTotalEnergyJ = "total_energy_j"
+	// MetricTotalRefreshPulses sums REF, REFpb, and self-refresh pulses.
+	MetricTotalRefreshPulses = "total_refresh_pulses"
+	// MetricIdleTimeSec is accumulated idle wall-clock seconds.
+	MetricIdleTimeSec = "idle_time_sec"
+	// MetricUncorrectableProb is the combined probability of an
+	// uncorrectable error across all idle periods under the retention
+	// model at the scenario's temperatures.
+	MetricUncorrectableProb = "uncorrectable_prob"
+)
+
+// flattenValue walks v (a struct) and records every numeric leaf under
+// its dotted JSON-tag path.
+func flattenValue(prefix string, v reflect.Value, out map[string]float64) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if tag == "-" {
+			continue
+		}
+		if tag == "" {
+			tag = f.Name
+		}
+		key := tag
+		if prefix != "" {
+			key = prefix + "." + tag
+		}
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Struct:
+			flattenValue(key, fv, out)
+		case reflect.Pointer:
+			if fv.Type().Elem().Kind() != reflect.Struct {
+				continue
+			}
+			if fv.IsNil() {
+				continue
+			}
+			flattenValue(key, fv.Elem(), out)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			out[key] = float64(fv.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			out[key] = float64(fv.Uint())
+		case reflect.Float32, reflect.Float64:
+			out[key] = fv.Float()
+		}
+		// Strings, bools, slices, arrays, and maps are not metrics.
+	}
+}
+
+// Flatten maps a result to dotted metric names. MECC metrics appear only
+// when the result carries MECC stats.
+func Flatten(res sim.Result) map[string]float64 {
+	out := map[string]float64{}
+	flattenValue("", reflect.ValueOf(res), out)
+	// "scheme" is an identity field, not a quantity.
+	delete(out, "scheme")
+	return out
+}
+
+// MetricKeys returns the full set of valid metric names for spec
+// validation: every flattened result field (with MECC stats present)
+// plus the derived metrics.
+func MetricKeys() map[string]bool {
+	res := sim.Result{MECC: &core.Stats{}}
+	flat := Flatten(res)
+	keys := make(map[string]bool, len(flat)+4)
+	for k := range flat {
+		keys[k] = true
+	}
+	for _, k := range []string{
+		MetricTotalEnergyJ, MetricTotalRefreshPulses,
+		MetricIdleTimeSec, MetricUncorrectableProb,
+	} {
+		keys[k] = true
+	}
+	return keys
+}
+
+// MetricNames returns the valid metric names sorted, for meccscn list
+// -metrics.
+func MetricNames() []string {
+	keys := MetricKeys()
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/sim"
+)
+
+// The planted-bug tests: a scenario is only worth gating CI on if it
+// demonstrably fails when the behavior it protects regresses. Each test
+// seeds a regression through the Options hooks and asserts the scenario
+// catches it.
+
+// TestPlantedRefreshStormFailsCleanScenario plants a 60-drop refresh
+// storm under the clean SMD-probe scenario (its 400k-instruction bursts
+// span enough refresh intervals for the deficit to clear the tracker's
+// postponement tolerance): the refresh-ratio invariant must fire and
+// fail checker_clean.
+func TestPlantedRefreshStormFailsCleanScenario(t *testing.T) {
+	s := mustBuiltin(t, "smd-burst-probe")
+	storm := make([]checker.Fault, 60)
+	for i := range storm {
+		storm[i] = checker.Fault{Kind: checker.DropRefresh, Seq: uint64(i)}
+	}
+	out, err := Run(s, Options{ExtraFaults: storm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Passed {
+		t.Fatal("scenario passed despite a planted refresh-drop storm")
+	}
+	found := false
+	for _, inv := range out.Invariants {
+		if inv.Kind == InvCheckerClean && !inv.OK {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("checker_clean did not fail under the planted storm")
+	}
+	if len(out.Violations) == 0 {
+		t.Error("no violations recorded for the planted storm")
+	}
+}
+
+// TestPlantedDividerRegressionFailsHotIdleProbe reverts the idle
+// refresh divider to JEDEC rate (divider 0) under the hot-idle detector
+// scenario: the uncorrectable probability collapses and the scenario's
+// metric_min invariant — which exists to prove the unsafe regime is
+// detectable — must fail.
+func TestPlantedDividerRegressionFailsHotIdleProbe(t *testing.T) {
+	s := mustBuiltin(t, "hot-idle-unsafe")
+	out, err := Run(s, Options{Tamper: func(cfg *sim.Config) {
+		cfg.MECC.DividerBits = 0
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Passed {
+		t.Fatal("hot-idle probe passed despite the divider being reverted to 64 ms")
+	}
+	if out.UncorrectableProb > 1e-6 {
+		t.Errorf("uncorrectable_prob = %g at JEDEC rate, expected it to collapse", out.UncorrectableProb)
+	}
+}
+
+// TestFaultStormScenarioRequiresItsViolation runs the fault-storm
+// scenario with its fault schedule stripped: expect_violation must then
+// fail, proving the scenario asserts the violation fires rather than
+// merely tolerating it.
+func TestFaultStormScenarioRequiresItsViolation(t *testing.T) {
+	s := mustBuiltin(t, "fault-storm")
+	s.Faults = nil
+	out, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Passed {
+		t.Fatal("fault-storm passed without its fault schedule; expect_violation is vacuous")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/retention"
 )
 
 // Phase-pattern simulation: the Fig. 1 usage model of alternating active
@@ -48,6 +49,9 @@ func (r *Runner) RunActive(instructions int64) error {
 func (r *Runner) GoIdle(duration time.Duration) error {
 	if r.idle {
 		return fmt.Errorf("%w: GoIdle while idle", core.ErrBadPhase)
+	}
+	if duration < 0 {
+		return fmt.Errorf("%w: idle %v", ErrBadDuration, duration)
 	}
 	// Drain all queued traffic so the banks can be precharged.
 	for len(r.pendingWB) > 0 {
@@ -140,6 +144,30 @@ func (r *Runner) LastTransition() PhaseTransition { return r.lastTransition }
 
 // IdleTime returns the accumulated idle wall-clock time.
 func (r *Runner) IdleTime() time.Duration { return r.idleTime }
+
+// SetTempC changes the junction temperature for subsequent phases (a
+// scenario's thermal profile). Out-of-range or NaN values are rejected
+// with ErrBadTemperature and leave the current temperature unchanged —
+// the model never clamps silently. Temperature does not perturb timing;
+// it only feeds the retention-failure evaluation of idle periods.
+func (r *Runner) SetTempC(tempC float64) error {
+	if err := retention.CheckTemp(tempC); err != nil {
+		return fmt.Errorf("%w: %g degC (want %g..%g)",
+			ErrBadTemperature, tempC, retention.MinTempC, retention.MaxTempC)
+	}
+	r.tempC = tempC
+	return nil
+}
+
+// TempC returns the current junction temperature. A runner built from a
+// zero-valued Config.TempC reads as retention.NominalTempC.
+func (r *Runner) TempC() float64 { return r.tempC }
+
+// SetBaseCPI changes the core's base CPI for subsequent instructions —
+// the first-order DVFS model: halving the clock doubles the CPI of the
+// non-memory component while DRAM timing is unchanged. Rejects
+// unphysical values (see cpu.Core.SetBaseCPI); safe mid-run.
+func (r *Runner) SetBaseCPI(cpi float64) error { return r.cpu.SetBaseCPI(cpi) }
 
 // Result finalizes and returns the figures of merit over everything run
 // so far (active phases only for IPC; energy includes idle residency).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/retention"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -41,6 +43,15 @@ type Config struct {
 	// CheckpointEvery, when positive, records (instructions, IPC) pairs
 	// at this interval — the Fig. 13 transition-time study.
 	CheckpointEvery int64
+	// TempC is the DRAM junction temperature in degrees Celsius. It does
+	// not perturb the timing model (results stay bit-identical across
+	// temperatures); it parameterizes the retention-failure evaluation a
+	// scenario harness performs over the run's idle periods, via
+	// retention.BERAtTemp. Zero means "unset" and reads back as
+	// retention.NominalTempC; nonzero values outside the LPDDR operating
+	// range are rejected by Validate with ErrBadTemperature rather than
+	// clamped.
+	TempC float64
 	// NextLinePrefetch enables a simple sequential prefetcher: each
 	// demand read triggers a background fetch of the next line into a
 	// small buffer that later demand reads hit with near-zero DRAM
@@ -76,7 +87,39 @@ func DefaultConfig(k SchemeKind, instructions int64) Config {
 		MECC:               core.DefaultConfig(d.TotalLines()),
 		Instructions:       instructions,
 		Seed:               1,
+		TempC:              retention.NominalTempC,
 	}
+}
+
+// Validation sentinels. The simulator used to accept whatever it was
+// handed and quietly clamp or misinterpret; out-of-domain inputs now
+// fail construction (and phase calls) with typed errors instead.
+var (
+	// ErrBadDuration reports a negative slice length or phase duration.
+	ErrBadDuration = errors.New("sim: negative duration")
+	// ErrBadTemperature reports a junction temperature outside the LPDDR
+	// operating range (wraps the retention-layer check).
+	ErrBadTemperature = errors.New("sim: temperature out of range")
+)
+
+// Validate rejects out-of-domain run parameters with sentinel errors:
+// a negative instruction budget (ErrBadDuration) and a nonzero junction
+// temperature outside [retention.MinTempC, retention.MaxTempC]
+// (ErrBadTemperature). NewRunner calls it; scenario specs surface its
+// errors at validation time.
+func (c Config) Validate() error {
+	if c.Instructions < 0 {
+		return fmt.Errorf("%w: instructions = %d", ErrBadDuration, c.Instructions)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: checkpointEvery = %d", ErrBadDuration, c.CheckpointEvery)
+	}
+	if c.TempC != 0 {
+		if err := retention.CheckTemp(c.TempC); err != nil {
+			return fmt.Errorf("%w: %g degC (want %g..%g)", ErrBadTemperature, c.TempC, retention.MinTempC, retention.MaxTempC)
+		}
+	}
+	return nil
 }
 
 // Checkpoint is one Fig. 13 sample.
@@ -188,6 +231,10 @@ type Runner struct {
 	lastTransition PhaseTransition
 	segmentBudget  int64
 	checkpoints    []Checkpoint
+
+	// tempC is the current junction temperature (see Config.TempC and
+	// SetTempC); it never feeds the timing model.
+	tempC float64
 }
 
 // NewRunner assembles a runner for one profile. The trace source is the
@@ -208,14 +255,22 @@ func NewRunnerWithSource(prof workload.Profile, src trace.Source, cfg Config) (*
 }
 
 func newRunner(prof workload.Profile, cfg Config, makeSrc func(*Runner) (trace.Source, error)) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	ch, err := dram.NewChannel(cfg.DRAM)
 	if err != nil {
 		return nil, err
+	}
+	tempC := cfg.TempC
+	if tempC == 0 {
+		tempC = retention.NominalTempC
 	}
 	r := &Runner{
 		cfg:              cfg,
 		prof:             prof,
 		ch:               ch,
+		tempC:            tempC,
 		cpuRatio:         uint64(cfg.DRAM.CPURatio()),
 		prefReady:        make(map[uint64]bool),
 		prefInflight:     make(map[uint64]uint64),
