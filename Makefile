@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline fmt paperbench trace-demo obs-smoke obs-demo scenarios scenarios-short fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline speclint self-test fmt paperbench trace-demo obs-smoke obs-demo scenarios scenarios-short fuzz fuzz-short clean
 
 # Pinned staticcheck release for CI; `make lint` uses a local install
 # when one is on PATH and skips it (with a note) otherwise.
@@ -44,13 +44,15 @@ bench-compare:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/meccvet: the ten-analyzer suite
-# — determinism, hotpath + hotclosure, nilhook, cycleunits + unitflow,
-# nopanic, errwrap, concsafety, seedflow — see DESIGN.md §9) plus vet,
-# plus staticcheck when available. meccvet compares against the
-# committed lint.baseline.json, so only NEW findings fail; CI runs the
-# same set with staticcheck pinned at STATICCHECK_VERSION.
-lint:
+# Project-specific static analysis (cmd/meccvet: the fourteen-analyzer
+# suite — determinism, hotpath + hotclosure + hotescape, nilhook,
+# cycleunits + unitflow + cyclewrap, nopanic, errwrap, concsafety +
+# atomicfield + seqlock, seedflow — see DESIGN.md §9) plus vet, plus
+# scenario-spec validation, plus staticcheck when available. meccvet
+# compares against the committed lint.baseline.json, so only NEW
+# findings fail; CI runs the same set with staticcheck pinned at
+# STATICCHECK_VERSION.
+lint: speclint
 	$(GO) vet ./...
 	$(GO) run ./cmd/meccvet -baseline lint.baseline.json ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -59,12 +61,23 @@ lint:
 		echo "staticcheck not on PATH; skipping (CI installs $(STATICCHECK_VERSION))"; \
 	fi
 
+# Validate every committed scenario spec (schema, invariant expressions,
+# cross-references) without running the scenarios.
+speclint:
+	$(GO) run ./cmd/meccscn validate internal/scenario/specs/*.json
+
 # Accept the current meccvet findings into lint.baseline.json (matching
 # on file+analyzer+message, so line drift never stales it). Review the
 # diff before committing: every entry is a finding nobody will see
 # again.
 lint-baseline:
 	$(GO) run ./cmd/meccvet -baseline lint.baseline.json -write-baseline ./...
+
+# The analysis framework's own test suite: SSA builder goldens and
+# def-use invariants, all analyzer fixtures, and the meccvet CLI flag
+# tests. CI runs this under -race.
+self-test:
+	$(GO) test ./internal/analysis/... ./cmd/meccvet/...
 
 fmt:
 	gofmt -l -w .

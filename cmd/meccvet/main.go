@@ -1,10 +1,13 @@
-// Command meccvet is the project's static-analysis multichecker: ten
-// analyzers that pin the simulator's compile-time invariants —
+// Command meccvet is the project's static-analysis multichecker:
+// fourteen analyzers that pin the simulator's compile-time invariants —
 // deterministic replay, the zero-allocation hot path (locally and
 // through the whole callee closure), nil-safe telemetry hooks,
 // unit-safe clock conversions (typed and name-inferred), documented
-// panics, sentinel-error wrapping, batch-worker write discipline, and
-// seed provenance. Run it over the module with
+// panics, sentinel-error wrapping, batch-worker write discipline, seed
+// provenance, atomic-field access discipline, the seqlock writer/reader
+// protocol shape, unsigned cycle-arithmetic wrap guards, and an SSA
+// escape audit that retires stale hot-path allow directives. Run it
+// over the module with
 //
 //	go run ./cmd/meccvet ./...
 //
@@ -68,6 +71,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	// Resolve the baseline before the (slow) load-and-run so a mistyped
+	// path fails in milliseconds, not after a full analysis pass.
+	var baseline *analysis.Baseline
+	if *basePath != "" && !*writeBase {
+		b, err := analysis.LoadBaseline(*basePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		baseline = b
+	}
+
 	var names []string
 	if *only != "" {
 		names = strings.Split(*only, ",")
@@ -109,12 +124,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
-	if *basePath != "" {
-		baseline, err := analysis.LoadBaseline(*basePath)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
+	if baseline != nil {
 		findings = baseline.Filter(findings)
 	}
 

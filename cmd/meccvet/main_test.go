@@ -36,16 +36,16 @@ func capture(t *testing.T, args ...string) (int, string, string) {
 // seedFixture is a fixture package with known seedflow findings.
 const seedFixture = "../../internal/analysis/testdata/src/seed"
 
-func TestListCoversTenAnalyzers(t *testing.T) {
+func TestListCoversAllAnalyzers(t *testing.T) {
 	code, out, _ := capture(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 10 {
-		t.Fatalf("-list printed %d analyzers, want 10:\n%s", len(lines), out)
+	if len(lines) != 14 {
+		t.Fatalf("-list printed %d analyzers, want 14:\n%s", len(lines), out)
 	}
-	for _, name := range []string{"concsafety", "seedflow", "hotclosure", "unitflow"} {
+	for _, name := range []string{"concsafety", "seedflow", "hotclosure", "unitflow", "atomicfield", "seqlock", "cyclewrap", "hotescape"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s", name)
 		}
@@ -125,5 +125,19 @@ func TestBadFlags(t *testing.T) {
 	}
 	if code, _, _ := capture(t, "-run", "nope"); code != 2 {
 		t.Fatalf("-run nope exit = %d, want 2", code)
+	}
+}
+
+// TestMissingBaselineFails pins the guard against a mistyped -baseline
+// path: the run must fail fast (before any analysis) rather than
+// silently running unbaselined and passing.
+func TestMissingBaselineFails(t *testing.T) {
+	absent := filepath.Join(t.TempDir(), "no-such-baseline.json")
+	code, _, stderr := capture(t, "-baseline", absent, seedFixture)
+	if code != 2 {
+		t.Fatalf("missing -baseline file exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "does not exist") {
+		t.Fatalf("stderr does not name the missing baseline: %s", stderr)
 	}
 }

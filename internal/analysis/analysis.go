@@ -107,7 +107,13 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 // the position for the named analyzer: the directive may trail the
 // offending line or sit alone on the line directly above it.
 func directivesAllow(dirs []directive, analyzer string, pos token.Position) bool {
-	for _, d := range dirs {
+	return directiveAllowIndex(dirs, analyzer, pos) >= 0
+}
+
+// directiveAllowIndex returns the index of the allow directive covering
+// the position for the named analyzer, or -1.
+func directiveAllowIndex(dirs []directive, analyzer string, pos token.Position) int {
+	for i, d := range dirs {
 		if d.verb != verbAllow || d.pos.Filename != pos.Filename {
 			continue
 		}
@@ -115,15 +121,15 @@ func directivesAllow(dirs []directive, analyzer string, pos token.Position) bool
 			continue
 		}
 		if len(d.names) == 0 {
-			return true
+			return i
 		}
 		for _, n := range d.names {
 			if n == analyzer {
-				return true
+				return i
 			}
 		}
 	}
-	return false
+	return -1
 }
 
 // TypeOf returns the static type of an expression, or nil.

@@ -94,7 +94,15 @@ func collectWants(t *testing.T, pkg *analysis.Package) map[lineKey][]*want {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				text := c.Text
+				// Both comment forms carry wants; the block form lets a
+				// want share a line with a //-directive under test.
+				if strings.HasPrefix(text, "//") {
+					text = strings.TrimPrefix(text, "//")
+				} else {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
+				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "want ") && text != "want" {
 					continue
 				}

@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield enforces atomic-access consistency program-wide: once any
+// code reaches a struct field or package-level variable through a
+// sync/atomic address-based operation (atomic.AddUint64(&s.n, 1), ...),
+// every other access to that word must be atomic too. A plain read or
+// write mixed into an atomic discipline is exactly the
+// batch.SetObserver race shape PR 5 fixed at run time with the race
+// detector — this analyzer finds the shape statically, whole-program,
+// before a schedule ever interleaves it.
+//
+// One exception keeps constructors idiomatic: plain accesses through a
+// base object that is still frame-local — allocated here and not yet
+// escaped on any path reaching the access — cannot race and are
+// permitted (initialization before publication).
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a field or package variable accessed via sync/atomic anywhere " +
+		"must be accessed atomically everywhere (plain access races); " +
+		"initialization before publication is exempt",
+	Run: runAtomicfield,
+}
+
+// atomicIndex is the program-wide registry of atomically-accessed
+// words.
+type atomicIndex struct {
+	// sites maps each variable reached by an address-based sync/atomic
+	// operation to one representative site.
+	sites map[*types.Var]atomicSite
+	// operands are the exact &addr argument subtrees of the atomic
+	// calls — the sanctioned accesses the plain-access scan skips.
+	operands map[ast.Expr]bool
+}
+
+// atomicSite describes how a variable is accessed atomically.
+type atomicSite struct {
+	pos token.Position
+	// elem marks ops targeting an element of the variable
+	// (atomic on &s.buf[i]): the discipline covers the elements, while
+	// the slice header itself stays plainly accessible.
+	elem bool
+	// direct marks ops targeting the variable's own word (&s.n).
+	direct bool
+}
+
+// atomicIndexOf builds (once) the program-wide atomic-access index.
+func (prog *Program) atomicIndexOf() *atomicIndex {
+	if prog.atomicIdx != nil {
+		return prog.atomicIdx
+	}
+	idx := &atomicIndex{
+		sites:    make(map[*types.Var]atomicSite),
+		operands: make(map[ast.Expr]bool),
+	}
+	prog.atomicIdx = idx
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicAddrCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				idx.operands[call.Args[0]] = true
+				target := ast.Unparen(addr.X)
+				elem := false
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					target, elem = ast.Unparen(ix.X), true
+				}
+				v := accessedVar(pkg.Info, target)
+				if v == nil {
+					return true
+				}
+				site := idx.sites[v]
+				if site.pos.Filename == "" {
+					site.pos = pkg.Fset.Position(call.Pos())
+				}
+				if elem {
+					site.elem = true
+				} else {
+					site.direct = true
+				}
+				idx.sites[v] = site
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// isAtomicAddrCall recognizes the address-based sync/atomic functions
+// (Load*, Store*, Add*, Swap*, CompareAndSwap* taking a pointer first
+// argument). Typed atomics (atomic.Uint64 methods) need no index: a
+// typed field cannot be accessed plainly at all.
+func isAtomicAddrCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObjectIn(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil // package functions, not typed-atomic methods
+}
+
+// accessedVar resolves an access expression to the struct field or
+// package-level variable it names, or nil for locals and everything
+// else.
+func accessedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && isIndexable(v) {
+			return v // pkg-qualified package variable
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && isIndexable(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// isIndexable limits the discipline to words that can be shared across
+// goroutines by name: struct fields and package-level variables.
+func isIndexable(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+func runAtomicfield(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	idx := prog.atomicIndexOf()
+	if len(idx.sites) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPlainAccesses(pass, fd, idx)
+		}
+	}
+	return nil
+}
+
+// checkPlainAccesses flags non-atomic accesses to indexed words inside
+// one function body.
+func checkPlainAccesses(pass *Pass, fd *ast.FuncDecl, idx *atomicIndex) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	var stack []ast.Node
+	// ast.Inspect only issues the closing f(nil) call when f returned
+	// true, so the stack is pushed exactly on the return-true paths.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if e, ok := n.(ast.Expr); ok && idx.operands[e] {
+			return false // the sanctioned atomic operand itself
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if v := accessedVar(pass.Info, e); v != nil {
+				if site, hit := idx.sites[v]; hit && plainAccessRaces(pass, e, site, stack) {
+					if !initBeforePublication(pass, fn, e) {
+						pass.Reportf(e.Pos(),
+							"%s is accessed with sync/atomic at %s; this plain access can race — use atomic operations",
+							v.Name(), fmt.Sprintf("%s:%d", site.pos.Filename, site.pos.Line))
+					}
+					return false
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// plainAccessRaces decides whether this occurrence touches the
+// disciplined word: a direct-discipline word races on any plain
+// mention; an element-discipline word races only when an element is
+// read or written (indexing, ranging), while header operations (len,
+// re-slicing for the atomic call) stay legal.
+func plainAccessRaces(pass *Pass, e ast.Expr, site atomicSite, stack []ast.Node) bool {
+	if site.direct {
+		return true
+	}
+	if !site.elem || len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.IndexExpr:
+		return p.X == e
+	case *ast.RangeStmt:
+		return p.X == e && p.Value != nil // ranging element values reads them plainly
+	}
+	return false
+}
+
+// initBeforePublication reports whether the access goes through a base
+// object that is provably still frame-local at this point: allocated in
+// this function, with every escaping use strictly after the access and
+// unreachable back to it. Such an access cannot race — no other
+// goroutine can hold the object yet.
+func initBeforePublication(pass *Pass, fn *types.Func, access ast.Expr) bool {
+	if fn == nil || pass.Prog == nil {
+		return false
+	}
+	f := pass.Prog.ssaOf(fn)
+	if f == nil {
+		return false
+	}
+	// Root identifier of the access chain.
+	root := access
+	for {
+		switch t := ast.Unparen(root).(type) {
+		case *ast.SelectorExpr:
+			root = t.X
+		case *ast.IndexExpr:
+			root = t.X
+		case *ast.StarExpr:
+			root = t.X
+		default:
+			root = ast.Unparen(root)
+			goto resolved
+		}
+	}
+resolved:
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	base := chaseToAlloc(f, pass.Info, f.useVal[id])
+	if base == nil {
+		return false
+	}
+	ab, apos, ok := enclosingSite(f, id)
+	if !ok {
+		return false
+	}
+	escapeSites, trackable := collectEscapeSites(f, pass.Info, base)
+	if !trackable {
+		return false
+	}
+	for _, es := range escapeSites {
+		if es.block == ab {
+			if es.pos <= apos {
+				return false
+			}
+		} else if !f.dom.dominates(ab, es.block) {
+			return false
+		}
+		if cfgReaches(f.g, es.block, ab) {
+			return false // a loop can publish, then re-run the plain access
+		}
+	}
+	return true
+}
+
+// chaseToAlloc follows plain copies from an SSA value back to a local
+// allocation (new/&composite) definition, or nil.
+func chaseToAlloc(f *ssaFunc, info *types.Info, v *ssaVal) *ssaVal {
+	for hops := 0; v != nil && hops < 32; hops++ {
+		if v.rhs == nil {
+			return nil
+		}
+		rhs := ast.Unparen(v.rhs)
+		if isAllocExpr(info, rhs) {
+			if _, isLit := rhs.(*ast.FuncLit); !isLit {
+				return v
+			}
+			return nil
+		}
+		if id, ok := rhs.(*ast.Ident); ok {
+			v = f.useVal[id]
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// site is one (block, position) point in a function body.
+type site struct {
+	block int
+	pos   token.Pos
+}
+
+// enclosingSite locates the basic block and position of the statement
+// enclosing a node.
+func enclosingSite(f *ssaFunc, n ast.Node) (block int, pos token.Pos, ok bool) {
+	for cur := n; cur != nil; cur = f.parent[cur] {
+		if s, isStmt := cur.(ast.Stmt); isStmt {
+			if b, recorded := f.g.stmtBlock[s]; recorded {
+				return b, n.Pos(), true
+			}
+		}
+	}
+	return 0, token.NoPos, false
+}
+
+// collectEscapeSites gathers the (block, pos) of every use that lets
+// the allocation escape, over the copy closure. trackable=false means a
+// copy left the SSA view and nothing can be concluded.
+func collectEscapeSites(f *ssaFunc, info *types.Info, root *ssaVal) (sites []site, trackable bool) {
+	seen := map[*ssaVal]bool{root: true}
+	work := []*ssaVal{root}
+	for len(work) > 0 {
+		v := work[0]
+		work = work[1:]
+		for _, u := range v.uses {
+			if u.phi != nil {
+				if out := u.phi.out; out != nil && !seen[out] {
+					seen[out] = true
+					work = append(work, out)
+				}
+				continue
+			}
+			copies, escapes := classifyUse(f, info, u.id)
+			if escapes {
+				b, p, ok := enclosingSite(f, u.id)
+				if !ok {
+					return nil, false
+				}
+				sites = append(sites, site{block: b, pos: p})
+				continue
+			}
+			for _, c := range copies {
+				if c != nil && !seen[c] {
+					seen[c] = true
+					work = append(work, c)
+				}
+			}
+		}
+	}
+	return sites, true
+}
+
+// cfgReaches reports whether any path leaves `from` and reaches `to`
+// (successor-transitively; a self-loop reaches itself).
+func cfgReaches(g *cfg, from, to int) bool {
+	seen := make([]bool, len(g.blocks))
+	work := append([]int(nil), g.blocks[from].succs...)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if b == to {
+			return true
+		}
+		if b < 0 || b >= len(seen) || seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, g.blocks[b].succs...)
+	}
+	return false
+}

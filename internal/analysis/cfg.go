@@ -25,7 +25,45 @@ type cfg struct {
 	// stateAt queries. Composite statements (if/for/switch) are recorded
 	// at their branch point.
 	stmtBlock map[ast.Stmt]int
+	// conds records the branch condition governing each two-way split
+	// block (if/for headers), so dominance-based analyzers can reason
+	// about which side of the test a dominated block sits on.
+	conds map[int]*condInfo
+	// extraUses holds expressions evaluated at a block's end that are
+	// not part of any recorded statement (switch tags, case patterns):
+	// the SSA renamer resolves their identifier uses against the block.
+	extraUses map[int][]ast.Expr
+	// predCache memoizes predecessors() (nil until first call).
+	predCache [][]int
 }
+
+// condInfo is one conditional split: cond is the controlling boolean
+// expression, trueB/falseB the successor blocks entered when it holds
+// or fails. For a `for` header, trueB is the loop body and falseB the
+// exit block.
+type condInfo struct {
+	cond          ast.Expr
+	trueB, falseB int
+}
+
+// predecessors returns (computing and memoizing) the predecessor lists
+// of every block.
+func (g *cfg) predecessors() [][]int {
+	if g.predCache != nil {
+		return g.predCache
+	}
+	preds := make([][]int, len(g.blocks))
+	for i, b := range g.blocks {
+		for _, s := range b.succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	g.predCache = preds
+	return preds
+}
+
+// condAt returns the branch condition split at block bi, or nil.
+func (g *cfg) condAt(bi int) *condInfo { return g.conds[bi] }
 
 // cfgBlock is one straight-line run of statements.
 type cfgBlock struct {
@@ -53,7 +91,11 @@ type cfgBuilder struct {
 // buildCFG constructs the graph for one function body.
 func buildCFG(body *ast.BlockStmt) *cfg {
 	b := &cfgBuilder{
-		g:             &cfg{stmtBlock: make(map[ast.Stmt]int)},
+		g: &cfg{
+			stmtBlock: make(map[ast.Stmt]int),
+			conds:     make(map[int]*condInfo),
+			extraUses: make(map[int][]ast.Expr),
+		},
 		labelBreak:    make(map[string]int),
 		labelContinue: make(map[string]int),
 	}
@@ -127,6 +169,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		after := b.newBlock()
 		if s.Else == nil {
 			b.edge(cond, after)
+			b.g.conds[cond] = &condInfo{cond: s.Cond, trueB: thenB, falseB: after}
+		} else {
+			// succs of cond are [thenB, elseB] in lowering order.
+			b.g.conds[cond] = &condInfo{cond: s.Cond, trueB: thenB, falseB: b.g.blocks[cond].succs[1]}
 		}
 		b.edge(thenEnd, after)
 		b.edge(elseEnd, after)
@@ -141,6 +187,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		b.edge(header, after) // cond may be false (or loop may break)
 		body := b.newBlock()
 		b.edge(header, body)
+		if s.Cond != nil {
+			b.g.conds[header] = &condInfo{cond: s.Cond, trueB: body, falseB: after}
+		}
 		post := b.newBlock()
 		b.pushLoop(s, after, post)
 		b.cur = body
@@ -211,6 +260,14 @@ func (b *cfgBuilder) compound(s ast.Stmt) {
 	}
 	b.g.stmtBlock[s] = b.cur
 	dispatch := b.cur
+	if sw, ok := s.(*ast.SwitchStmt); ok && sw.Tag != nil {
+		b.g.extraUses[dispatch] = append(b.g.extraUses[dispatch], sw.Tag)
+	}
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			b.g.extraUses[dispatch] = append(b.g.extraUses[dispatch], cc.List...)
+		}
+	}
 	after := b.newBlock()
 	b.pushSwitch(after)
 	hasDefault := false

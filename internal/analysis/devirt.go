@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// devirt.go resolves dynamic interface-method calls by class-hierarchy
+// analysis: the possible targets of iface.M() are the M methods of
+// every concrete type in the loaded package universe (root packages
+// plus their transitive type-checked imports) that implements the
+// interface. When every target is itself proven allocation-free —
+// annotated //meccvet:hotpath or with a clean transitive closure — the
+// dynamic edge is proven too, and hotclosure stops demanding an allow
+// for it. This is what lets the Morphable codec dispatch (weak/strong
+// Codec fields populated from the experiment matrix) count as proven:
+// the Codec implementer set is closed over {None, LineSECDED,
+// WordSECDED, BCH}, all of whose methods the closure check clears.
+//
+// Soundness leans on the whole-module load: meccvet always analyzes
+// the full ./... root set, so any type a root package could stuff into
+// one of its interfaces is in the universe. An implementer declared
+// outside the root set (a stdlib type satisfying the interface by
+// coincidence) cannot be vetted and makes the edge unproven.
+
+// chaResult is the memoized outcome of devirtualizing one interface
+// method.
+type chaResult struct {
+	// proven marks the edge allocation-free: the implementer set is
+	// non-empty, fully inside the root set, and every target method's
+	// closure is clean.
+	proven bool
+	// targets are the concrete methods the call can reach.
+	targets []*types.Func
+}
+
+// devirtualizedClean reports whether a dynamic call site can be proven
+// allocation-free by devirtualization: the call must be an interface
+// method invocation (func-value calls have no class hierarchy to
+// enumerate) whose every possible concrete target is clean.
+func (prog *Program) devirtualizedClean(caller *types.Func, cs CallSite) bool {
+	if !cs.Dynamic {
+		return false
+	}
+	fi := prog.funcs[caller]
+	if fi == nil {
+		return false
+	}
+	m, ok := calleeObjectIn(fi.Pkg.Info, cs.Call).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !types.IsInterface(sig.Recv().Type()) {
+		return false
+	}
+	return prog.cha(m).proven
+}
+
+// cha computes (memoizing) the devirtualization result for one
+// interface method. Recursion through allocSummary terminates via that
+// summary's own in-progress marker; a cycle participant reading the
+// pre-registered unproven result stays conservative.
+func (prog *Program) cha(m *types.Func) *chaResult {
+	if r, ok := prog.chaFacts[m]; ok {
+		return r
+	}
+	r := &chaResult{}
+	prog.chaFacts[m] = r
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return r
+	}
+	for _, T := range prog.typeUniverse() {
+		ptr := types.NewPointer(T)
+		if !types.Implements(T, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		target, ok := obj.(*types.Func)
+		if !ok {
+			return r // implementer without a reachable method object
+		}
+		r.targets = append(r.targets, target)
+	}
+	if len(r.targets) == 0 {
+		return r // no implementer in scope: nothing to prove against
+	}
+	for _, target := range r.targets {
+		if prog.funcVerb(target, verbHotpath) {
+			continue // proven at its own root
+		}
+		if prog.funcs[target] == nil {
+			return r // declared outside the root set: cannot vet
+		}
+		if prog.allocSummary(target) != nil {
+			return r
+		}
+	}
+	r.proven = true
+	return r
+}
+
+// typeUniverse enumerates (once) every named non-interface type in the
+// root packages and their transitive type-checked imports — the class
+// hierarchy cha matches implementers against.
+func (prog *Program) typeUniverse() []types.Type {
+	if prog.uniDone {
+		return prog.universe
+	}
+	prog.uniDone = true
+	seen := make(map[*types.Package]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			prog.universe = append(prog.universe, named)
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		visit(pkg.Types)
+	}
+	return prog.universe
+}

@@ -60,6 +60,9 @@ func checkHotEdges(pass *Pass, root *types.Func, rootName string) {
 	for _, cs := range pass.Prog.CallsFrom(root) {
 		switch {
 		case cs.Dynamic:
+			if pass.Prog.devirtualizedClean(root, cs) {
+				continue // every possible concrete target is clean
+			}
 			pass.Reportf(cs.Call.Pos(),
 				"dynamic call in hot path %s cannot be proven allocation-free; devirtualize or justify with //meccvet:allow hotclosure", rootName)
 		case cs.Callee != nil:
@@ -92,8 +95,9 @@ func (prog *Program) allocSummary(fn *types.Func) *allocIssue {
 	}
 	var issue *allocIssue
 	hs := &hotScanner{
-		info: fi.Pkg.Info,
-		name: fn.Name(),
+		info:    fi.Pkg.Info,
+		name:    fn.Name(),
+		escapes: prog.escapeOracle(fn),
 		report: func(pos token.Pos, format string, args ...any) {
 			if issue != nil {
 				return
@@ -110,6 +114,9 @@ func (prog *Program) allocSummary(fn *types.Func) *allocIssue {
 		for _, cs := range prog.calls[fn] {
 			switch {
 			case cs.Dynamic:
+				if prog.devirtualizedClean(fn, cs) {
+					continue
+				}
 				position := fi.Pkg.Fset.Position(cs.Call.Pos())
 				if prog.allowed("hotclosure", position) {
 					continue

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Hotescape audits the //meccvet:allow hotpath/hotclosure directives
+// against the SSA-backed proofs: it replays the hotpath and hotclosure
+// finding generation for every hot root with the escape oracle and
+// devirtualization enabled, marks each allow directive that still
+// suppresses a real finding, and flags the rest as stale. An allow
+// kept after the analysis can prove the site clean is worse than
+// noise — it documents a cost that no longer exists and trains readers
+// to wave suppressions through.
+var Hotescape = &Analyzer{
+	Name: "hotescape",
+	Doc: "//meccvet:allow hotpath/hotclosure directives whose findings " +
+		"the SSA escape analysis or devirtualization now discharges are " +
+		"stale and must be deleted",
+	Run: runHotescape,
+}
+
+func runHotescape(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	prog.hotAllowAudit()
+	inPass := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPass[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for i, d := range prog.directives {
+		if d.verb != verbAllow || len(d.names) == 0 || !inPass[d.pos.Filename] {
+			continue
+		}
+		hotOnly := true
+		for _, n := range d.names {
+			if n != "hotpath" && n != "hotclosure" {
+				hotOnly = false
+				break
+			}
+		}
+		if !hotOnly || prog.allowUsed[i] {
+			continue
+		}
+		position := d.pos
+		if pass.allowedAt(position) {
+			continue
+		}
+		pass.report(Diagnostic{
+			Pos:      position,
+			Analyzer: pass.Analyzer.Name,
+			Message: "stale //meccvet:allow " + strings.Join(d.names, ",") +
+				": the suppressed finding is now proven clean (non-escaping or devirtualized); delete the directive",
+		})
+	}
+	return nil
+}
+
+// hotAllowAudit replays (once per Program) the hotpath and hotclosure
+// finding generation for every //meccvet:hotpath root in the program,
+// with the SSA escape oracle and devirtualization active. It emits
+// nothing: its whole effect is marking, via Program.allowed, which
+// allow directives still earn their keep.
+func (prog *Program) hotAllowAudit() {
+	if prog.auditDone {
+		return
+	}
+	prog.auditDone = true
+	for fn, fi := range prog.funcs {
+		if fi.Decl.Body == nil || !fi.Hotpath() {
+			continue
+		}
+		fset := fi.Pkg.Fset
+		hs := &hotScanner{
+			info:    fi.Pkg.Info,
+			name:    fn.Name(),
+			escapes: prog.escapeOracle(fn),
+			report: func(pos token.Pos, format string, args ...any) {
+				prog.allowed("hotpath", fset.Position(pos))
+			},
+		}
+		hs.scan(fi.Decl.Body)
+		for _, cs := range prog.calls[fn] {
+			switch {
+			case cs.Dynamic:
+				if !prog.devirtualizedClean(fn, cs) {
+					prog.allowed("hotclosure", fset.Position(cs.Call.Pos()))
+				}
+			case cs.Callee != nil && !cs.Callee.Hotpath():
+				if prog.allocSummary(cs.Callee.Fn) != nil {
+					prog.allowed("hotclosure", fset.Position(cs.Call.Pos()))
+				}
+			}
+		}
+	}
+}

@@ -43,6 +43,9 @@ func runHotpath(pass *Pass) error {
 					pass.Reportf(pos, format, args...)
 				},
 			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && pass.Prog != nil {
+				hs.escapes = pass.Prog.escapeOracle(fn)
+			}
 			hs.scan(fd.Body)
 		}
 	}
@@ -58,6 +61,16 @@ type hotScanner struct {
 	info   *types.Info
 	name   string
 	report func(pos token.Pos, format string, args ...any)
+	// escapes is the escape oracle for the scanned body: it reports
+	// whether an allocation expression may outlive its frame. nil (no
+	// SSA available) means every allocation is assumed to escape —
+	// the pre-SSA behavior.
+	escapes func(ast.Expr) bool
+}
+
+// mayEscape consults the escape oracle, defaulting to "escapes".
+func (hs *hotScanner) mayEscape(e ast.Expr) bool {
+	return hs.escapes == nil || hs.escapes(e)
 }
 
 func (hs *hotScanner) scan(body ast.Node) {
@@ -73,10 +86,12 @@ func (hs *hotScanner) scan(body ast.Node) {
 		case *ast.GoStmt:
 			hs.report(n.Pos(), "goroutine launch in hot path %s allocates a stack", hs.name)
 		case *ast.FuncLit:
-			hs.report(n.Pos(), "closure in hot path %s may allocate its captures", hs.name)
+			if hs.mayEscape(n) {
+				hs.report(n.Pos(), "closure in hot path %s may allocate its captures", hs.name)
+			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
-				if _, ok := n.X.(*ast.CompositeLit); ok {
+				if _, ok := n.X.(*ast.CompositeLit); ok && hs.mayEscape(n) {
 					hs.report(n.Pos(), "&composite literal in hot path %s escapes to the heap", hs.name)
 				}
 			}
@@ -97,8 +112,12 @@ func (hs *hotScanner) call(call *ast.CallExpr, stack []ast.Node) {
 	if obj != nil {
 		if b, ok := obj.(*types.Builtin); ok {
 			switch b.Name() {
-			case "make", "new":
-				hs.report(call.Pos(), "%s in hot path %s allocates", b.Name(), hs.name)
+			case "make":
+				hs.report(call.Pos(), "make in hot path %s allocates", hs.name)
+			case "new":
+				if hs.mayEscape(call) {
+					hs.report(call.Pos(), "new in hot path %s allocates", hs.name)
+				}
 			case "append":
 				hs.appendCall(call, stack)
 			}

@@ -82,12 +82,37 @@ func TestUnitflowOutOfScope(t *testing.T) {
 	analysistest.MustFindings(t, diags, 0)
 }
 
-// TestSelect pins the registry: All covers the ten analyzers and
+func TestAtomicfield(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Atomicfield, "./testdata/src/atomicf")
+	analysistest.MustFindings(t, diags, 3)
+}
+
+func TestSeqlock(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Seqlock, "./testdata/src/slock")
+	analysistest.MustFindings(t, diags, 5)
+}
+
+func TestCyclewrap(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Cyclewrap, "./testdata/src/cwrap")
+	analysistest.MustFindings(t, diags, 3)
+}
+
+func TestCyclewrapOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Cyclewrap, "./testdata/src/scopefree")
+	analysistest.MustFindings(t, diags, 0)
+}
+
+func TestHotescape(t *testing.T) {
+	diags := analysistest.Run(t, analysis.Hotescape, "./testdata/src/esc")
+	analysistest.MustFindings(t, diags, 1)
+}
+
+// TestSelect pins the registry: All covers the fourteen analyzers and
 // Select rejects unknown names.
 func TestSelect(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 10 {
-		t.Fatalf("All() = %d analyzers, want 10", len(all))
+	if len(all) != 14 {
+		t.Fatalf("All() = %d analyzers, want 14", len(all))
 	}
 	got, err := analysis.Select([]string{"determinism", "nopanic"})
 	if err != nil || len(got) != 2 {

@@ -203,12 +203,13 @@ func NewBaseline(findings []Finding) *Baseline {
 	return b
 }
 
-// LoadBaseline reads a baseline file. A missing file is an empty
-// baseline, so a fresh checkout without one simply reports everything.
+// LoadBaseline reads a baseline file. A missing file is an error: a CI
+// job that names a baseline which is not there would otherwise silently
+// run unbaselined, and a typo in the path would look like a pass.
 func LoadBaseline(path string) (*Baseline, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return &Baseline{Version: 1}, nil
+		return nil, fmt.Errorf("analysis: baseline %s does not exist (run -write-baseline to create one)", path)
 	}
 	if err != nil {
 		return nil, err

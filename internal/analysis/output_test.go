@@ -187,12 +187,9 @@ func TestBaselineRoundtrip(t *testing.T) {
 		t.Fatalf("Filter kept %d findings, want 2 (the new one and the duplicate): %v", len(got), got)
 	}
 
-	// A missing baseline file is an empty baseline.
-	empty, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := empty.Filter(findings); len(got) != len(findings) {
-		t.Fatalf("missing baseline absorbed findings: %d kept of %d", len(got), len(findings))
+	// A missing baseline file is an error, not an empty baseline: a
+	// mistyped -baseline path must not silently pass CI.
+	if _, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("LoadBaseline on a missing file succeeded, want error")
 	}
 }

@@ -49,6 +49,17 @@ type Program struct {
 	provDone    map[*types.Func]bool
 	unitFacts   map[*types.Func]unit
 	unitDone    map[*types.Func]bool
+	ssaFuncs    map[*types.Func]*ssaFunc
+	escFacts    map[*types.Func]map[ast.Expr]bool
+	chaFacts    map[*types.Func]*chaResult
+	universe    []types.Type // named non-interface types across all loaded packages
+	uniDone     bool
+	atomicIdx   *atomicIndex
+	// allowUsed marks (by index into directives) each allow directive
+	// that suppressed at least one would-be finding; hotescape flags
+	// hotpath/hotclosure allows that stay unmarked after a full replay.
+	allowUsed map[int]bool
+	auditDone bool
 }
 
 // A CallSite is one call expression inside a declared function's body
@@ -94,6 +105,10 @@ func buildProgram(pkgs []*Package) *Program {
 		provDone:    make(map[*types.Func]bool),
 		unitFacts:   make(map[*types.Func]unit),
 		unitDone:    make(map[*types.Func]bool),
+		ssaFuncs:    make(map[*types.Func]*ssaFunc),
+		escFacts:    make(map[*types.Func]map[ast.Expr]bool),
+		chaFacts:    make(map[*types.Func]*chaResult),
+		allowUsed:   make(map[int]bool),
 	}
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 || pkg.Info == nil {
@@ -154,9 +169,14 @@ func (prog *Program) funcVerb(fn *types.Func, verb string) bool {
 // program covers the position for the named analyzer — the program-wide
 // counterpart of Pass.allowedAt, needed because interprocedural
 // analyzers report at positions in packages other than the current
-// pass's (the breaking call edge may live two packages away).
+// pass's (the breaking call edge may live two packages away). A match
+// marks the directive as load-bearing for the hotescape audit.
 func (prog *Program) allowed(analyzer string, pos token.Position) bool {
-	return directivesAllow(prog.directives, analyzer, pos)
+	if i := directiveAllowIndex(prog.directives, analyzer, pos); i >= 0 {
+		prog.allowUsed[i] = true
+		return true
+	}
+	return false
 }
 
 // collectCalls walks one body (descending into nested function
@@ -223,6 +243,45 @@ func (prog *Program) cfgOf(fn *types.Func) *cfg {
 	}
 	prog.cfgs[fn] = g
 	return g
+}
+
+// ssaOf returns (building and memoizing) the SSA form of a
+// root-package function's body, or nil when it has no body.
+func (prog *Program) ssaOf(fn *types.Func) *ssaFunc {
+	if f, ok := prog.ssaFuncs[fn]; ok {
+		return f
+	}
+	fi := prog.funcs[fn]
+	var f *ssaFunc
+	if fi != nil && fi.Decl.Body != nil {
+		if g := prog.cfgOf(fn); g != nil {
+			f = buildSSA(fi, g)
+		}
+	}
+	prog.ssaFuncs[fn] = f
+	return f
+}
+
+// nonEscaping returns the set of allocation expressions in fn's body
+// proven (by the SSA escape analysis) never to leave the frame.
+func (prog *Program) nonEscaping(fn *types.Func) map[ast.Expr]bool {
+	if m, ok := prog.escFacts[fn]; ok {
+		return m
+	}
+	var m map[ast.Expr]bool
+	if f := prog.ssaOf(fn); f != nil {
+		m = escapeAnalysis(f, prog.funcs[fn])
+	}
+	prog.escFacts[fn] = m
+	return m
+}
+
+// escapeOracle binds nonEscaping into the hotScanner's oracle shape
+// for one function: it reports true when the allocation may escape
+// (i.e. was not proven local).
+func (prog *Program) escapeOracle(fn *types.Func) func(ast.Expr) bool {
+	proven := prog.nonEscaping(fn)
+	return func(e ast.Expr) bool { return !proven[e] }
 }
 
 // reachesQuiescent returns a //meccvet:quiescent function reachable

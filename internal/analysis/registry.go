@@ -8,15 +8,19 @@ import (
 // All returns every meccvet analyzer in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Atomicfield,
 		Concsafety,
 		Cycleunits,
+		Cyclewrap,
 		Determinism,
 		Errwrap,
 		Hotclosure,
+		Hotescape,
 		Hotpath,
 		Nilhook,
 		Nopanic,
 		Seedflow,
+		Seqlock,
 		Unitflow,
 	}
 }

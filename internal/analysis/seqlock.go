@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Seqlock checks the sequence-lock protocol on functions annotated
+// //meccvet:seqlock writer or //meccvet:seqlock reader — the
+// FlightRecorder.Record/Events discipline: a writer invalidates the
+// slot's sequence word, stores the guarded words, then publishes the
+// sequence; a reader copies the guarded words between two loads of the
+// sequence word and keeps the copy only if the two loads agree.
+//
+// Concretely, in a writer the sequence word is the word stored more
+// than once (the open store and the release store); every store to a
+// sibling guarded word (same base chain, different element or field)
+// must be dominated by the open store and post-dominated by the
+// release, so no path writes a guarded word outside the open window.
+// In a reader there must exist a comparison whose both operands are
+// (possibly via local copies) loads of the same sequence word — the
+// re-check that detects a torn copy. Both checks are shape checks over
+// the CFG, dominators and SSA def-use chains; they cannot prove
+// linearizability, but they pin the protocol skeleton so a refactor
+// cannot silently move a store out of its window.
+var Seqlock = &Analyzer{
+	Name: "seqlock",
+	Doc: "//meccvet:seqlock writer functions must wrap every guarded " +
+		"store between the sequence-word open and release stores; " +
+		"reader functions must re-check the sequence word",
+	Run: runSeqlock,
+}
+
+func runSeqlock(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			role := directiveArg(fd.Doc, verbSeqlock)
+			if role == "" {
+				if hasDirective(fd.Doc, verbSeqlock) {
+					pass.Reportf(fd.Pos(), "bare //meccvet:seqlock on %s: the directive needs a role (writer or reader)", fd.Name.Name)
+				}
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || pass.Prog == nil {
+				continue
+			}
+			f := pass.Prog.ssaOf(fn)
+			if f == nil {
+				continue
+			}
+			switch role {
+			case "writer":
+				checkSeqWriter(pass, fd, f)
+			case "reader":
+				checkSeqReader(pass, fd, f)
+			default:
+				pass.Reportf(fd.Pos(), "unknown //meccvet:seqlock role %q (want writer or reader)", role)
+			}
+		}
+	}
+	return nil
+}
+
+// seqStore is one store to a word: an atomic Store/Add/Swap method
+// call or a plain assignment target.
+type seqStore struct {
+	// word is the canonical spelling of the stored word.
+	word string
+	// base is the word's chain with the final index stripped — the
+	// grouping key tying sibling guarded words to their sequence word.
+	base  string
+	node  ast.Node
+	block int
+}
+
+// checkSeqWriter verifies the open → guarded stores → release shape.
+func checkSeqWriter(pass *Pass, fd *ast.FuncDecl, f *ssaFunc) {
+	stores := collectStores(pass.Info, f, fd.Body)
+	// The sequence word is the word stored more than once.
+	count := make(map[string]int)
+	for _, s := range stores {
+		count[s.word]++
+	}
+	seqWord := ""
+	for w, c := range count {
+		if c >= 2 {
+			if seqWord != "" && w != seqWord {
+				pass.Reportf(fd.Pos(), "seqlock writer %s stores two words twice (%s and %s); the protocol has one sequence word", fd.Name.Name, seqWord, w)
+				return
+			}
+			seqWord = w
+		}
+	}
+	if seqWord == "" {
+		pass.Reportf(fd.Pos(), "seqlock writer %s must open and release the sequence word (store it twice); found no word stored twice", fd.Name.Name)
+		return
+	}
+	dom := f.dom
+	pdom := f.g.postDominators()
+	var seqStores, guarded []seqStore
+	var seqBase string
+	for _, s := range stores {
+		if s.word == seqWord {
+			seqStores = append(seqStores, s)
+			seqBase = s.base
+		}
+	}
+	for _, s := range stores {
+		if s.word != seqWord && s.base == seqBase {
+			guarded = append(guarded, s)
+		}
+	}
+	// Open: the seq store dominating all others; release: the one
+	// post-dominating all others.
+	open, release := seqStores[0], seqStores[len(seqStores)-1]
+	for _, s := range seqStores {
+		if siteBefore(dom, s, open) {
+			open = s
+		}
+		if siteAfter(pdom, s, release) {
+			release = s
+		}
+	}
+	if open.node == release.node {
+		pass.Reportf(fd.Pos(), "seqlock writer %s: cannot tell the open store from the release store of %s", fd.Name.Name, seqWord)
+		return
+	}
+	for _, g := range guarded {
+		if !siteBefore(dom, open, g) {
+			pass.Reportf(g.node.Pos(), "store to guarded word %s in seqlock writer %s is not dominated by the open store of %s", g.word, fd.Name.Name, seqWord)
+			continue
+		}
+		if !siteAfter(pdom, release, g) {
+			pass.Reportf(g.node.Pos(), "store to guarded word %s in seqlock writer %s is not post-dominated by the release store of %s", g.word, fd.Name.Name, seqWord)
+		}
+	}
+}
+
+// siteBefore reports whether a executes strictly before b on every
+// path: a's block dominates b's, or they share a block and a precedes.
+func siteBefore(dom *domTree, a, b seqStore) bool {
+	if a.block == b.block {
+		return a.node.Pos() < b.node.Pos()
+	}
+	return dom.dominates(a.block, b.block)
+}
+
+// siteAfter reports whether a executes strictly after b on every path
+// leaving b: a's block post-dominates b's, or they share a block and a
+// follows.
+func siteAfter(pdom *domTree, a, b seqStore) bool {
+	if a.block == b.block {
+		return a.node.Pos() > b.node.Pos()
+	}
+	return pdom.dominates(a.block, b.block)
+}
+
+// collectStores gathers every word store in the body: typed-atomic
+// Store/Add/Swap/CompareAndSwap method calls and plain assignments to
+// selector/index chains.
+func collectStores(info *types.Info, f *ssaFunc, body ast.Node) []seqStore {
+	var out []seqStore
+	add := func(target ast.Expr, n ast.Node) {
+		word, base, ok := canonWord(target)
+		if !ok {
+			return
+		}
+		b, _, found := enclosingSite(f, n)
+		if !found {
+			return
+		}
+		out = append(out, seqStore{word: word, base: base, node: n, block: b})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, ok := atomicMethodTarget(info, n, "Store", "Add", "Swap", "CompareAndSwap"); ok {
+				add(recv, n)
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if _, isIdent := ast.Unparen(l).(*ast.Ident); !isIdent {
+					add(l, n)
+				}
+			}
+		}
+		return true
+	})
+	// Address-based atomic store functions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicAddrCall(info, call) || len(call.Args) == 0 {
+			return true
+		}
+		name := atomicFuncName(info, call)
+		switch {
+		case hasAnyPrefix(name, "Store", "Add", "Swap", "CompareAndSwap"):
+			if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+				add(addr.X, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// atomicMethodTarget matches a call of one of the named methods on a
+// sync/atomic typed value and returns the receiver chain.
+func atomicMethodTarget(info *types.Info, call *ast.CallExpr, names ...string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := calleeObjectIn(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return sel.X, true
+		}
+	}
+	return nil, false
+}
+
+// atomicFuncName returns the package-function name of an atomic call.
+func atomicFuncName(info *types.Info, call *ast.CallExpr) string {
+	if fn, ok := calleeObjectIn(info, call).(*types.Func); ok {
+		return fn.Name()
+	}
+	return ""
+}
+
+// hasAnyPrefix reports whether s starts with any of the prefixes.
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// canonWord renders a word chain canonically (types.ExprString) and
+// derives its base grouping key: the chain with a trailing constant
+// index stripped, so s.w[0] and s.w[2] share base s.w.
+func canonWord(e ast.Expr) (word, base string, ok bool) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident, *ast.StarExpr:
+	default:
+		return "", "", false
+	}
+	word = types.ExprString(e)
+	if ix, isIx := e.(*ast.IndexExpr); isIx {
+		base = types.ExprString(ix.X)
+	} else if sel, isSel := e.(*ast.SelectorExpr); isSel {
+		base = types.ExprString(sel.X)
+	} else {
+		base = word
+	}
+	return word, base, true
+}
+
+// checkSeqReader verifies the load–copy–reload shape: some comparison
+// must consume two distinct loads of the same word.
+func checkSeqReader(pass *Pass, fd *ast.FuncDecl, f *ssaFunc) {
+	info := pass.Info
+	// loadWord resolves an operand to the word a load produced it from:
+	// either an inline atomic Load call or a local copy of one.
+	var loadWord func(e ast.Expr, hops int) (string, ast.Node, bool)
+	loadWord = func(e ast.Expr, hops int) (string, ast.Node, bool) {
+		if hops > 8 {
+			return "", nil, false
+		}
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			if recv, ok := atomicMethodTarget(info, call, "Load"); ok {
+				w, _, ok := canonWord(recv)
+				return w, call, ok
+			}
+			if isAtomicAddrCall(info, call) && hasAnyPrefix(atomicFuncName(info, call), "Load") && len(call.Args) > 0 {
+				if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+					w, _, ok := canonWord(addr.X)
+					return w, call, ok
+				}
+			}
+			return "", nil, false
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if v := f.useVal[id]; v != nil && v.rhs != nil {
+				return loadWord(v.rhs, hops+1)
+			}
+		}
+		return "", nil, false
+	}
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		be, isBin := n.(*ast.BinaryExpr)
+		if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		wx, nx, okx := loadWord(be.X, 0)
+		wy, ny, oky := loadWord(be.Y, 0)
+		if okx && oky && wx == wy && nx != ny {
+			ok = true
+		}
+		return true
+	})
+	if !ok {
+		pass.Reportf(fd.Pos(),
+			"seqlock reader %s never re-checks a sequence word: no comparison of two loads of the same word found",
+			fd.Name.Name)
+	}
+}

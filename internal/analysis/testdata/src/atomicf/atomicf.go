@@ -1,0 +1,77 @@
+// Package atomicf is the atomicfield fixture: once a word is touched
+// through sync/atomic anywhere, every plain access to it elsewhere is
+// a race. The Batch type replays the batch.SetObserver shape — an
+// observer word swapped atomically on the hot path but read plainly
+// from a maintenance path.
+package atomicf
+
+import "sync/atomic"
+
+// Batch accumulates events; seq is bumped atomically per event.
+type Batch struct {
+	seq uint64
+	n   int
+}
+
+// Bump is the hot-path producer: it commits the event atomically.
+func (b *Batch) Bump() {
+	atomic.AddUint64(&b.seq, 1)
+	b.n++ // n has no atomic discipline: plain access is fine
+}
+
+// Flush reads the sequence plainly — the interprocedural race: the
+// atomic discipline was established in Bump, the violation is here.
+func (b *Batch) Flush() uint64 {
+	return b.seq // want `seq is accessed with sync/atomic`
+}
+
+// Snapshot tolerates a torn read and says so.
+func (b *Batch) Snapshot() uint64 {
+	//meccvet:allow atomicfield -- sampling read, torn value tolerated
+	return b.seq
+}
+
+// NewBatch initializes seq plainly, but the object is still
+// frame-local at that point — no goroutine can race it yet.
+func NewBatch(start uint64) *Batch {
+	b := new(Batch)
+	b.seq = start
+	publish(b)
+	return b
+}
+
+// published keeps escaped batches reachable.
+var published *Batch
+
+func publish(b *Batch) { published = b }
+
+// hits is a package-level counter under atomic discipline.
+var hits uint64
+
+// Record is the sanctioned access.
+func Record() { atomic.AddUint64(&hits, 1) }
+
+// Dump mixes in a plain read of the counter.
+func Dump() uint64 {
+	return hits // want `hits is accessed with sync/atomic`
+}
+
+// Table holds per-slot words accessed atomically by element: the
+// discipline covers the elements, the slice header stays plain.
+type Table struct {
+	slots []uint64
+}
+
+// Set is the sanctioned element access.
+func (t *Table) Set(i int, v uint64) { atomic.StoreUint64(&t.slots[i], v) }
+
+// Peek reads an element plainly — a race with Set.
+func (t *Table) Peek(i int) uint64 {
+	return t.slots[i] // want `slots is accessed with sync/atomic`
+}
+
+// Len touches only the header, which the element discipline leaves
+// plainly accessible.
+func (t *Table) Len() int {
+	return len(t.slots)
+}

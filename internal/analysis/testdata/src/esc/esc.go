@@ -1,0 +1,40 @@
+// Package esc is the hotescape fixture: //meccvet:allow
+// hotpath/hotclosure directives whose suppressed finding the SSA
+// escape analysis now discharges are stale and must be deleted.
+package esc
+
+// result mirrors a decode result.
+type result struct{ n int }
+
+// sum keeps its scratch allocation frame-local; the escape analysis
+// proves the new clean, so the allow below it suppresses nothing.
+//
+//meccvet:hotpath
+func sum(n int) int {
+	/* want `stale //meccvet:allow hotpath` */ //meccvet:allow hotpath -- scratch header, amortized
+	r := new(result)
+	r.n = n
+	return r.n
+}
+
+// spill's allocation escapes by return: the allow still earns its keep.
+//
+//meccvet:hotpath
+func spill(n int) *result {
+	//meccvet:allow hotpath -- one allocation per batch, amortized
+	p := new(result)
+	p.n = n
+	return p
+}
+
+// keep retains a stale allow deliberately while a revert lands; the
+// hotescape finding itself is suppressed.
+//
+//meccvet:hotpath
+func keep(n int) int {
+	//meccvet:allow hotescape -- directive kept while the revert lands
+	//meccvet:allow hotpath -- scratch header, amortized
+	q := new(result)
+	q.n = n
+	return q.n
+}

@@ -12,13 +12,18 @@ type Result struct {
 // scratch is a reusable package-level buffer.
 var scratch []int
 
-// deferred exercises the defer and closure rules.
+// deferred exercises the defer and closure rules. A closure that is
+// built, called and dropped inside the frame is proven non-escaping by
+// the SSA escape analysis and no longer flagged; one that escapes (here
+// by being returned) still is.
 //
 //meccvet:hotpath
-func deferred() {
-	defer fmt.Println("done")    // want `defer in hot path deferred` `fmt.Println in hot path deferred formats and allocates`
-	f := func() int { return 1 } // want `closure in hot path deferred`
+func deferred() func() int {
+	defer fmt.Println("done") // want `defer in hot path deferred` `fmt.Println in hot path deferred formats and allocates`
+	f := func() int { return 1 }
 	_ = f()
+	g := func() int { return 2 } // want `closure in hot path deferred`
+	return g
 }
 
 // spawns exercises the goroutine rule.
@@ -28,16 +33,27 @@ func spawns(ch chan int) {
 	go func() { ch <- 1 }() // want `goroutine launch in hot path spawns` `closure in hot path spawns`
 }
 
-// allocates exercises the construction rules.
+// allocates exercises the construction rules. The new(Result) whose
+// pointer never leaves the frame is proven non-escaping (only its
+// fields are read and written); the one that is returned allocates.
 //
 //meccvet:hotpath
 func allocates(n int) *Result {
 	buf := make([]int, n) // want `make in hot path allocates`
 	_ = buf
+	local := new(Result)
+	local.N = n
+	_ = local.N
 	p := new(Result) // want `new in hot path allocates`
-	_ = p
+	sink(p)
 	return &Result{N: n} // want `&composite literal in hot path allocates escapes`
 }
+
+// sink publishes its argument.
+func sink(r *Result) { published = r }
+
+// published keeps escaped results reachable.
+var published *Result
 
 // appends exercises the fresh-slice rule both ways.
 //

@@ -1,0 +1,106 @@
+// Package slock is the seqlock fixture: functions annotated
+// //meccvet:seqlock writer or reader must follow the sequence-lock
+// protocol skeleton the obs.FlightRecorder uses.
+package slock
+
+import "sync/atomic"
+
+// slot is one fixed-size record: w[0] is the sequence word, the rest
+// are guarded payload words.
+type slot struct {
+	w [4]atomic.Uint64
+}
+
+// ring is a lock-free single-writer ring of slots.
+type ring struct {
+	slots []slot
+	pos   atomic.Uint64
+}
+
+// write follows the protocol: invalidate, store payload, publish.
+//
+//meccvet:seqlock writer
+func (r *ring) write(a, b uint64) {
+	t := r.pos.Add(1) - 1
+	s := &r.slots[int(t)%len(r.slots)]
+	s.w[0].Store(0)
+	s.w[1].Store(a)
+	s.w[2].Store(b)
+	s.w[0].Store(t + 1)
+}
+
+// writeEarly stores a payload word before opening the window: a reader
+// can observe the new payload under the old sequence.
+//
+//meccvet:seqlock writer
+func (r *ring) writeEarly(a uint64) {
+	s := &r.slots[0]
+	s.w[1].Store(a) // want `not dominated by the open store`
+	s.w[0].Store(0)
+	s.w[2].Store(a)
+	s.w[0].Store(2)
+}
+
+// writeLate stores a payload word after publishing: a reader whose
+// re-check already passed can still see the slot mutate under it.
+//
+//meccvet:seqlock writer
+func (r *ring) writeLate(a uint64) {
+	s := &r.slots[0]
+	s.w[0].Store(0)
+	s.w[1].Store(a)
+	s.w[0].Store(2)
+	s.w[2].Store(a) // want `not post-dominated by the release store`
+}
+
+// writeBail can return between open and release: the bail-out path
+// leaves the slot invalid with fresh payload in it, so the payload
+// store is not post-dominated by the release.
+//
+//meccvet:seqlock writer
+func (r *ring) writeBail(a uint64, skip bool) {
+	s := &r.slots[0]
+	s.w[0].Store(0)
+	s.w[1].Store(a) // want `not post-dominated by the release store`
+	if skip {
+		return
+	}
+	s.w[0].Store(2)
+}
+
+// read re-checks the sequence word around the copy.
+//
+//meccvet:seqlock reader
+func (r *ring) read(i int) (uint64, bool) {
+	s := &r.slots[i]
+	seq := s.w[0].Load()
+	a := s.w[1].Load()
+	if s.w[0].Load() != seq {
+		return 0, false
+	}
+	return a, true
+}
+
+// readTorn loads the sequence once and never compares it to a second
+// load: torn copies go undetected.
+//
+//meccvet:seqlock reader
+func (r *ring) readTorn(i int) uint64 { // want `never re-checks a sequence word`
+	s := &r.slots[i]
+	_ = s.w[0].Load()
+	return s.w[1].Load()
+}
+
+// readSampled deliberately tolerates torn values and suppresses the
+// finding.
+//
+//meccvet:seqlock reader
+//meccvet:allow seqlock -- stats sampling tolerates torn reads
+func (r *ring) readSampled(i int) uint64 {
+	return r.slots[i].w[1].Load()
+}
+
+// confused carries the directive without a role.
+//
+//meccvet:seqlock
+func confused() {} // want `needs a role`

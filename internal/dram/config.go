@@ -243,10 +243,22 @@ type Coord struct {
 // one of these at construction.
 type decodeParams struct {
 	colBits, bankBits, rankBits, rowBits int
-	linesPerRow, banks, ranks, rowsPerBank uint64
-	totalBanks                             uint64
-	banksPerRank                           int
-	mapping                                AddressMapping
+	rowsPerBank                          uint64
+	// colMask, bankMask, rankMask and globalMask are the index masks of
+	// the power-of-two counts, precomputed so the per-request decode
+	// does no count-minus-one arithmetic at all.
+	colMask, bankMask, rankMask, globalMask uint64
+	banksPerRank                            int
+	mapping                                 AddressMapping
+}
+
+// maskOf returns the index mask n-1 of a power-of-two count, or 0 for
+// an empty count rather than wrapping to 2^64-1.
+func maskOf(n uint64) uint64 {
+	if n >= 1 {
+		return n - 1
+	}
+	return 0
 }
 
 func (c *Config) decodeParams() decodeParams {
@@ -255,11 +267,11 @@ func (c *Config) decodeParams() decodeParams {
 		bankBits:     bits.TrailingZeros64(uint64(c.Banks)),
 		rankBits:     bits.TrailingZeros64(uint64(c.RankCount())),
 		rowBits:      bits.TrailingZeros64(uint64(c.RowsPerBank)),
-		linesPerRow:  uint64(c.LinesPerRow()),
-		banks:        uint64(c.Banks),
-		ranks:        uint64(c.RankCount()),
 		rowsPerBank:  uint64(c.RowsPerBank),
-		totalBanks:   uint64(c.TotalBanks()),
+		colMask:      maskOf(uint64(c.LinesPerRow())),
+		bankMask:     maskOf(uint64(c.Banks)),
+		rankMask:     maskOf(uint64(c.RankCount())),
+		globalMask:   maskOf(uint64(c.TotalBanks())),
 		banksPerRank: c.Banks,
 		mapping:      c.Mapping,
 	}
@@ -267,21 +279,21 @@ func (c *Config) decodeParams() decodeParams {
 
 //meccvet:hotpath
 func (p *decodeParams) decode(lineAddr uint64) Coord {
-	col := int(lineAddr & (p.linesPerRow - 1))
+	col := int(lineAddr & p.colMask)
 	switch p.mapping {
 	case MapBankRowCol:
 		row := int((lineAddr >> p.colBits) % p.rowsPerBank)
-		global := int((lineAddr >> (p.colBits + p.rowBits)) & (p.totalBanks - 1))
+		global := int((lineAddr >> (p.colBits + p.rowBits)) & p.globalMask)
 		return Coord{Rank: global / p.banksPerRank, Bank: global, Row: row, Col: col}
 	case MapRowXORBankCol:
-		bank := int((lineAddr >> p.colBits) & (p.banks - 1))
-		rank := int((lineAddr >> (p.colBits + p.bankBits)) & (p.ranks - 1))
+		bank := int((lineAddr >> p.colBits) & p.bankMask)
+		rank := int((lineAddr >> (p.colBits + p.bankBits)) & p.rankMask)
 		row := int((lineAddr >> (p.colBits + p.bankBits + p.rankBits)) % p.rowsPerBank)
 		bank ^= row & (p.banksPerRank - 1)
 		return Coord{Rank: rank, Bank: rank*p.banksPerRank + bank, Row: row, Col: col}
 	default: // MapRowBankCol
-		bank := int((lineAddr >> p.colBits) & (p.banks - 1))
-		rank := int((lineAddr >> (p.colBits + p.bankBits)) & (p.ranks - 1))
+		bank := int((lineAddr >> p.colBits) & p.bankMask)
+		rank := int((lineAddr >> (p.colBits + p.bankBits)) & p.rankMask)
 		row := int((lineAddr >> (p.colBits + p.bankBits + p.rankBits)) % p.rowsPerBank)
 		return Coord{Rank: rank, Bank: rank*p.banksPerRank + bank, Row: row, Col: col}
 	}
@@ -300,13 +312,16 @@ func (c Config) Decode(lineAddr uint64) Coord {
 // RegionOf returns the index of the lineAddr's region when memory is
 // split into nRegions equal regions (the MDT granularity).
 func (c Config) RegionOf(lineAddr uint64, nRegions int) int {
+	if nRegions <= 0 {
+		return 0
+	}
 	linesPerRegion := c.TotalLines() / uint64(nRegions)
 	if linesPerRegion == 0 {
 		linesPerRegion = 1
 	}
 	r := lineAddr / linesPerRegion
 	if r >= uint64(nRegions) {
-		r = uint64(nRegions) - 1
+		r = uint64(nRegions - 1)
 	}
 	return int(r)
 }

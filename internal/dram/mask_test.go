@@ -1,0 +1,37 @@
+package dram
+
+import "testing"
+
+// TestMaskOf pins the wrap guard of the decode-mask helper: an empty
+// count must produce an empty mask, not 2^64-1 (which would turn every
+// address into a huge bogus index).
+func TestMaskOf(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{8, 7},
+		{1 << 32, 1<<32 - 1},
+	}
+	for _, c := range cases {
+		if got := maskOf(c.n); got != c.want {
+			t.Errorf("maskOf(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+// TestRegionOfDegenerate pins the guards on the MDT region split:
+// nonpositive region counts collapse to region 0 instead of dividing
+// by zero or wrapping the clamp index.
+func TestRegionOfDegenerate(t *testing.T) {
+	c := DefaultConfig()
+	for _, n := range []int{0, -1} {
+		if got := c.RegionOf(12345, n); got != 0 {
+			t.Errorf("RegionOf(12345, %d) = %d, want 0", n, got)
+		}
+	}
+	// An address past the end clamps into the last region.
+	if got := c.RegionOf(^uint64(0), 8); got != 7 {
+		t.Errorf("RegionOf(max, 8) = %d, want 7", got)
+	}
+}

@@ -224,7 +224,6 @@ func (w *WordSECDED) Decode(data line.Line, check uint64) (line.Line, Result) {
 //
 //meccvet:hotpath
 func (w *WordSECDED) ScreenClean(data line.Line, check uint64) bool {
-	//meccvet:allow hotclosure -- the transitive fmt.Errorf is hamming's length-mismatch error path, unreachable for the fixed construction-validated geometry
 	return w.Encode(data) == check
 }
 

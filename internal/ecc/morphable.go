@@ -138,7 +138,6 @@ func (m *Morphable) EncodeBatch(data []line.Line, mode Mode, out []uint64) {
 		modeField = (1 << ModeBits) - 1
 	}
 	if bc, ok := c.(BatchCodec); ok {
-		//meccvet:allow hotclosure -- codec fixed at construction; both concrete batch encoders are proven at their own hotpath roots
 		bc.EncodeBatch(data, out)
 		for i := range out {
 			out[i] = modeField | out[i]<<ModeBits
@@ -148,7 +147,6 @@ func (m *Morphable) EncodeBatch(data []line.Line, mode Mode, out []uint64) {
 	//meccvet:allow hotpath,hotclosure -- one closure per batch call, amortized over the lines
 	batch.For(len(data), minMorphablePerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			//meccvet:allow hotclosure -- codec fixed at construction; both concrete Encode implementations are allocation-free
 			out[i] = modeField | c.Encode(data[i])<<ModeBits
 		}
 	})
@@ -168,7 +166,6 @@ func (m *Morphable) DecodeBatch(data []line.Line, spare []uint64, out []line.Lin
 	//meccvet:allow hotpath,hotclosure -- one closure per batch call, amortized over the lines
 	batch.For(len(data), minMorphablePerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			//meccvet:allow hotclosure -- Decode dispatches through the codec interfaces fixed at construction; both concrete decoders are allocation-free
 			out[i], evs[i] = m.Decode(data[i], spare[i])
 		}
 	})
@@ -187,7 +184,6 @@ func (m *Morphable) ScreenWeakClean(data line.Line, spare uint64) bool {
 	if m.weakScreen == nil || int(spare)&((1<<ModeBits)-1) != 0 {
 		return false
 	}
-	//meccvet:allow hotclosure -- screener fixed at construction; all concrete ScreenClean implementations are allocation-free hotpath roots
 	return m.weakScreen.ScreenClean(data, spare>>ModeBits)
 }
 

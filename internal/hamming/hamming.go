@@ -45,6 +45,9 @@ type SECDED struct {
 	// lastMask zeroes the slack bits of the last data word, so popcounts
 	// over whole words match the bit-serial walk that stops at dataBits.
 	lastMask uint64
+	// errLen is the prebuilt wrong-length error, so the Encode/Decode
+	// guard clauses stay allocation-free even when they fire.
+	errLen error
 }
 
 // NewSECDED constructs a SECDED code for the given number of data bits.
@@ -77,6 +80,7 @@ func NewSECDED(dataBits int) (*SECDED, error) {
 		idx++
 	}
 	s.buildMasks()
+	s.errLen = fmt.Errorf("%w: want %d", ErrBadInput, s.wordsNeeded())
 	return s, nil
 }
 
@@ -160,7 +164,7 @@ func (s *SECDED) syndromeBitSerial(data []uint64) (uint32, int) {
 // checkBits is the overall parity over data and check bits.
 func (s *SECDED) Encode(data []uint64) (uint64, error) {
 	if len(data) != s.wordsNeeded() {
-		return 0, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+		return 0, s.errLen
 	}
 	synd, ones := s.syndromeOf(data)
 	check := uint64(synd)
@@ -193,7 +197,7 @@ func (s *SECDED) ScreenClean(data []uint64, check uint64) bool {
 // bit error in place (data is modified) and detecting double errors.
 func (s *SECDED) Decode(data []uint64, check uint64) (Result, error) {
 	if len(data) != s.wordsNeeded() {
-		return Result{}, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(data), s.wordsNeeded())
+		return Result{}, s.errLen
 	}
 	storedParity := (check >> s.checkBits) & 1
 	storedCheck := uint32(check & ((1 << s.checkBits) - 1))

@@ -1,6 +1,7 @@
 package hamming
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -341,5 +342,35 @@ func TestEncodeScreenZeroAllocs(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("Encode+ScreenClean allocate %v times per run", n)
+	}
+}
+
+// TestWrongLengthError pins the prebuilt length-mismatch error: it must
+// wrap ErrBadInput for errors.Is, and — because it is built once at
+// construction — firing the guard clause must not allocate, keeping
+// Encode/Decode allocation-free on every path.
+func TestWrongLengthError(t *testing.T) {
+	s, err := NewSECDED(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]uint64, 3) // wants 8 words
+
+	if _, err := s.Encode(short); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Encode(short) error = %v, want ErrBadInput", err)
+	}
+	if _, err := s.Decode(short, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Decode(short) error = %v, want ErrBadInput", err)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := s.Encode(short); err == nil {
+			t.Fatal("Encode(short) succeeded, want error")
+		}
+		if _, err := s.Decode(short, 0); err == nil {
+			t.Fatal("Decode(short) succeeded, want error")
+		}
+	}); n != 0 {
+		t.Fatalf("error path allocates %v times per run", n)
 	}
 }

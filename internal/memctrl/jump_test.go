@@ -100,7 +100,7 @@ func randomSchedule(rng *rand.Rand, n int) []scheduleOp {
 		ops[i] = scheduleOp{
 			cycle:   cycle,
 			isWrite: rng.Intn(3) == 0,
-			addr:    uint64(rng.Intn(1 << 14)) * 64,
+			addr:    uint64(rng.Intn(1<<14)) * 64,
 		}
 	}
 	return ops

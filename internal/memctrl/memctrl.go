@@ -334,13 +334,23 @@ func (c *Controller) PublishObs() {
 		return
 	}
 	s := c.wheel.Stats()
-	c.cWheelSched.Add(s.Scheduled - c.lastWheel.Scheduled)
-	c.cWheelMature.Add(s.Matured - c.lastWheel.Matured)
-	c.cWheelCascade.Add(s.Cascaded - c.lastWheel.Cascaded)
+	c.cWheelSched.Add(monotonicDelta(s.Scheduled, c.lastWheel.Scheduled))
+	c.cWheelMature.Add(monotonicDelta(s.Matured, c.lastWheel.Matured))
+	c.cWheelCascade.Add(monotonicDelta(s.Cascaded, c.lastWheel.Cascaded))
 	c.lastWheel = s
 	c.gWheelDepth.Set(float64(c.wheel.Len()))
 	c.gReadDepth.Set(float64(len(c.readQ)))
 	c.gWriteDepth.Set(float64(len(c.writeQ)))
+}
+
+// monotonicDelta returns cur-prev for a counter expected to only grow,
+// clamping to 0 if it ever moved backwards (a swapped or reset wheel)
+// instead of wrapping and poisoning a cumulative metric with ~2^64.
+func monotonicDelta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
 }
 
 // SetChecker attaches a refresh-accounting tracker (nil detaches). The
@@ -419,6 +429,7 @@ func (c *Controller) ResyncRefresh() {
 // refreshInterval returns the effective refresh interval in DRAM cycles:
 // per-bank refresh pulses come banks-times as often, each covering one
 // bank.
+//
 //meccvet:hotpath
 func (c *Controller) refreshInterval() uint64 {
 	interval := c.trefi << c.refreshShift
@@ -779,7 +790,7 @@ func (c *Controller) tryJump(limit uint64) bool {
 			c.wheel.Cancel(evPowerDown)
 			return false
 		}
-		c.wheel.Schedule(evPowerDown, now+uint64(need)-1)
+		c.wheel.Schedule(evPowerDown, now+uint64(need-1))
 	} else {
 		c.wheel.Cancel(evPowerDown)
 	}
@@ -821,7 +832,7 @@ func (c *Controller) completeReads() {
 	kept := c.inflight[:0]
 	for _, r := range c.inflight {
 		if r.DoneAt <= now {
-			lat := r.DoneAt - r.EnqueuedAt
+			lat := monotonicDelta(r.DoneAt, r.EnqueuedAt)
 			c.stats.ReadsDone++
 			c.stats.TotalReadLatency += lat
 			bucket := len(latencyBounds)
@@ -1191,10 +1202,10 @@ func (c *Controller) removeWrite(r *Request) {
 func (c *Controller) DrainAll(maxCycles uint64) (uint64, error) {
 	start := c.ch.Now()
 	for c.Pending() > 0 {
-		if c.ch.Now()-start > maxCycles {
+		if monotonicDelta(c.ch.Now(), start) > maxCycles {
 			return 0, fmt.Errorf("memctrl: drain exceeded %d cycles with %d pending", maxCycles, c.Pending())
 		}
 		c.Step()
 	}
-	return c.ch.Now() - start, nil
+	return monotonicDelta(c.ch.Now(), start), nil
 }

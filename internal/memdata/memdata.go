@@ -236,19 +236,16 @@ func (m *Memory) sweepShard(worker, lo, hi int) {
 		data := m.data[addr]
 		spare := m.spare[addr]
 		if m.codec.ScreenWeakClean(data, spare) {
-			//meccvet:allow hotclosure -- codec fixed at construction; both concrete Encode implementations are allocation-free hotpath roots
 			m.spare[addr] = m.codec.Encode(data, ecc.ModeStrong)
 			st.upgraded++
 			continue
 		}
-		//meccvet:allow hotclosure -- rare screen-failure path; the concrete decoders are allocation-free hotpath roots
 		fixed, ev := m.codec.Decode(data, spare)
 		if ev.Result.Uncorrectable {
 			st.uncorrectable++
 			continue
 		}
 		m.data[addr] = fixed
-		//meccvet:allow hotclosure -- codec fixed at construction; both concrete Encode implementations are allocation-free hotpath roots
 		m.spare[addr] = m.codec.Encode(fixed, ecc.ModeStrong)
 		st.upgraded++
 	}

@@ -142,6 +142,7 @@ func (f *FlightRecorder) internLookup(i uint64) string {
 // is safe to leave enabled on every hot path.
 //
 //meccvet:hotpath
+//meccvet:seqlock writer
 func (f *FlightRecorder) Record(e Event) {
 	if f == nil {
 		return
@@ -173,6 +174,8 @@ func (f *FlightRecorder) Record(e Event) {
 // Events returns a consistent snapshot of the retained window in record
 // order (oldest first). Slots mid-overwrite during the snapshot are
 // dropped. Nil receivers return nil.
+//
+//meccvet:seqlock reader
 func (f *FlightRecorder) Events() []Event {
 	if f == nil {
 		return nil

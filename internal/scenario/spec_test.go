@@ -33,7 +33,7 @@ func TestParseRejects(t *testing.T) {
 	cases := []struct {
 		name, mutate, want string
 	}{
-		{"unknown-field", `"name": "t",`, ""},    // handled below
+		{"unknown-field", `"name": "t",`, ""}, // handled below
 		{"idle-while-idle", "", "bad phase ordering"},
 		{"unknown-metric", "", "unknown metric"},
 		{"negative-duration", "", "negative duration"},

@@ -357,6 +357,7 @@ func (w *Wheel) flushLevel(lvl, limit int, matureAll bool) {
 	base := int32(lvl) * numSlots
 	m := w.occ[lvl]
 	if limit < numSlots {
+		//meccvet:allow cyclewrap -- limit < numSlots = 64, so the shift is nonzero and the mask cannot wrap
 		m &= (uint64(1) << uint(limit)) - 1
 	}
 	for m != 0 {
