@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-baseline speclint self-test fmt paperbench trace-demo obs-smoke obs-demo scenarios scenarios-short fuzz fuzz-short clean
+.PHONY: all build test cover cover-gate bench bench-json bench-compare vet lint lint-fast lint-baseline speclint self-test fmt paperbench trace-demo obs-smoke obs-demo scenarios scenarios-short fuzz fuzz-short clean
 
 # Pinned staticcheck release for CI; `make lint` uses a local install
 # when one is on PATH and skips it (with a note) otherwise.
@@ -44,22 +44,31 @@ bench-compare:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/meccvet: the fourteen-analyzer
+# Project-specific static analysis (cmd/meccvet: the seventeen-analyzer
 # suite — determinism, hotpath + hotclosure + hotescape, nilhook,
 # cycleunits + unitflow + cyclewrap, nopanic, errwrap, concsafety +
-# atomicfield + seqlock, seedflow — see DESIGN.md §9) plus vet, plus
+# atomicfield + seqlock, seedflow, and the concurrency layer lockorder +
+# goleak + chandiscipline — see DESIGN.md §9) plus vet, plus
 # scenario-spec validation, plus staticcheck when available. meccvet
 # compares against the committed lint.baseline.json, so only NEW
-# findings fail; CI runs the same set with staticcheck pinned at
-# STATICCHECK_VERSION.
+# findings fail, and keeps its incremental fact cache in .meccvet-cache
+# so warm re-runs on an unchanged tree replay from metadata alone. CI
+# runs the same set with staticcheck pinned at STATICCHECK_VERSION.
 lint: speclint
 	$(GO) vet ./...
-	$(GO) run ./cmd/meccvet -baseline lint.baseline.json ./...
+	$(GO) run ./cmd/meccvet -baseline lint.baseline.json -cache-dir .meccvet-cache ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
 		echo "staticcheck not on PATH; skipping (CI installs $(STATICCHECK_VERSION))"; \
 	fi
+
+# Just the cached meccvet sweep — the editor-save loop. Warm runs on an
+# unchanged tree skip parsing and type-checking entirely (sub-second);
+# after an edit only the changed packages and the whole-program
+# analyzers re-run.
+lint-fast:
+	$(GO) run ./cmd/meccvet -baseline lint.baseline.json -cache-dir .meccvet-cache ./...
 
 # Validate every committed scenario spec (schema, invariant expressions,
 # cross-references) without running the scenarios.

@@ -1,19 +1,25 @@
 // Command meccvet is the project's static-analysis multichecker:
-// fourteen analyzers that pin the simulator's compile-time invariants —
+// seventeen analyzers that pin the simulator's compile-time invariants —
 // deterministic replay, the zero-allocation hot path (locally and
 // through the whole callee closure), nil-safe telemetry hooks,
 // unit-safe clock conversions (typed and name-inferred), documented
 // panics, sentinel-error wrapping, batch-worker write discipline, seed
 // provenance, atomic-field access discipline, the seqlock writer/reader
-// protocol shape, unsigned cycle-arithmetic wrap guards, and an SSA
-// escape audit that retires stale hot-path allow directives. Run it
-// over the module with
+// protocol shape, unsigned cycle-arithmetic wrap guards, an SSA escape
+// audit that retires stale hot-path allow directives, and the
+// concurrency layer built on points-to and happens-before analysis:
+// lockorder (lock-order cycles and double acquisition of non-reentrant
+// mutexes, intra- and interprocedural), goleak (goroutines whose every
+// path blocks forever, WaitGroup Add/Done accounting), and
+// chandiscipline (single closing owner, send-after-close, dead
+// receives). Run it over the module with
 //
 //	go run ./cmd/meccvet ./...
 //
 // (or `make lint`). It exits non-zero on any diagnostic; suppress an
 // individual finding with a `//meccvet:allow <analyzer> -- reason`
-// comment on or directly above the offending line.
+// comment on or directly above the offending line, and declare an
+// intentional lock hierarchy with `//meccvet:lockorder -- reason`.
 //
 // Machine-readable output and the CI baseline workflow:
 //
@@ -23,7 +29,15 @@
 //	meccvet -baseline lint.baseline.json -write-baseline ./...  # accept current
 //
 // The baseline matches findings on (file, analyzer, message), ignoring
-// line numbers, so unrelated edits do not break CI. See DESIGN.md §9.
+// line numbers, so unrelated edits do not break CI.
+//
+// Incremental runs: `-cache-dir DIR` keeps a per-package fact cache
+// keyed by content hashes of each package's files and dependency
+// closure. A warm run over an unchanged tree replays every finding
+// from `go list` metadata alone (no parsing or type-checking); after
+// an edit, package-local analyzers skip every unchanged package while
+// the whole-program analyzers re-run. `-timings` attributes wall time
+// per analyzer on stderr. See DESIGN.md §9.
 package main
 
 import (
@@ -31,7 +45,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -51,6 +67,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	basePath := fs.String("baseline", "", "baseline file: filter out accepted findings")
 	writeBase := fs.Bool("write-baseline", false, "write the current findings to -baseline and exit")
+	cacheDir := fs.String("cache-dir", "", "incremental fact cache directory: skip unchanged packages")
+	timings := fs.Bool("timings", false, "print per-analyzer wall time to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,12 +115,46 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(".", patterns...)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+	var times map[string]time.Duration
+	if *timings {
+		times = make(map[string]time.Duration)
 	}
-	diags := analysis.Run(analysis.Roots(pkgs), analyzers)
+	var diags []analysis.Diagnostic
+	if *cacheDir != "" {
+		cache, err := analysis.OpenFactCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		d, stats, err := analysis.RunCached(cache, ".", patterns, analyzers, times)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = d
+		mode := ""
+		if stats.FastPath {
+			mode = " (metadata only, no type-check)"
+		}
+		fmt.Fprintf(stderr, "meccvet: cache: %d/%d packages warm%s\n", stats.Warm, stats.Roots, mode)
+	} else {
+		pkgs, err := analysis.Load(".", patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = analysis.RunTimed(analysis.Roots(pkgs), analyzers, times)
+	}
+	if *timings {
+		names := make([]string, 0, len(times))
+		for n := range times {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return times[names[i]] > times[names[j]] })
+		for _, n := range names {
+			fmt.Fprintf(stderr, "meccvet: timing %-14s %s\n", n, times[n].Round(time.Microsecond))
+		}
+	}
 	cwd, _ := os.Getwd()
 	findings := analysis.Findings(diags, cwd)
 

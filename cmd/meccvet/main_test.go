@@ -42,10 +42,10 @@ func TestListCoversAllAnalyzers(t *testing.T) {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 14 {
-		t.Fatalf("-list printed %d analyzers, want 14:\n%s", len(lines), out)
+	if len(lines) != 17 {
+		t.Fatalf("-list printed %d analyzers, want 17:\n%s", len(lines), out)
 	}
-	for _, name := range []string{"concsafety", "seedflow", "hotclosure", "unitflow", "atomicfield", "seqlock", "cyclewrap", "hotescape"} {
+	for _, name := range []string{"concsafety", "seedflow", "hotclosure", "unitflow", "atomicfield", "seqlock", "cyclewrap", "hotescape", "lockorder", "goleak", "chandiscipline"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s", name)
 		}
@@ -113,6 +113,45 @@ func TestBaselineFlow(t *testing.T) {
 	code, _, _ = capture(t, "-run", "seedflow", seedFixture)
 	if code != 1 {
 		t.Fatalf("unbaselined run exit = %d, want 1", code)
+	}
+}
+
+// TestCacheGolden pins the fact-cache contract end to end: a cold run
+// populates the cache, the warm run replays from metadata alone, and
+// the rendered findings are byte-identical between the two.
+func TestCacheGolden(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "factcache")
+
+	coldCode, coldOut, coldErr := capture(t, "-run", "seedflow", "-cache-dir", dir, seedFixture)
+	if coldCode != 1 {
+		t.Fatalf("cold exit = %d, want 1 (stderr: %s)", coldCode, coldErr)
+	}
+	if !strings.Contains(coldErr, "cache: 0/1 packages warm") {
+		t.Fatalf("cold run stderr missing cache stats: %s", coldErr)
+	}
+
+	warmCode, warmOut, warmErr := capture(t, "-run", "seedflow", "-cache-dir", dir, seedFixture)
+	if warmCode != coldCode {
+		t.Fatalf("warm exit = %d, cold = %d", warmCode, coldCode)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm findings differ from cold:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	if !strings.Contains(warmErr, "cache: 1/1 packages warm (metadata only, no type-check)") {
+		t.Fatalf("warm run did not take the fast path: %s", warmErr)
+	}
+}
+
+// TestTimings checks -timings prints an attribution line per analyzer.
+func TestTimings(t *testing.T) {
+	code, _, stderr := capture(t, "-run", "seedflow", "-timings", seedFixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, want := range []string{"meccvet: timing seedflow", "meccvet: timing program"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-timings stderr missing %q:\n%s", want, stderr)
+		}
 	}
 }
 

@@ -6,18 +6,25 @@
 // metadata) so the module keeps its zero-dependency property.
 //
 // The analyzers themselves (determinism, hotpath, hotclosure, nilhook,
-// cycleunits, unitflow, nopanic, errwrap, concsafety, seedflow) encode
-// invariants of this simulator that the run-time layers
-// (internal/golden, internal/checker) cannot see until a simulation
-// executes: deterministic replay, the zero-allocation BCH decode
-// contract (locally and through the whole callee closure), nil-safe
-// telemetry hooks, unit-safe cycle/time conversions (typed and
-// name-inferred), documented panics, sentinel-error wrapping, the
-// batch.For per-index write discipline, and run-config seed
-// provenance. The interprocedural analyzers run on a whole-program
-// layer (program.go: call graph + function index; cfg.go: per-function
-// control-flow graphs with a worklist dataflow solver) built once per
-// Run. See DESIGN.md §9 for the rationale and the suppression syntax.
+// cycleunits, unitflow, nopanic, errwrap, concsafety, seedflow, and
+// the rest of the seventeen-strong registry) encode invariants of this
+// simulator that the run-time layers (internal/golden,
+// internal/checker) cannot see until a simulation executes:
+// deterministic replay, the zero-allocation BCH decode contract
+// (locally and through the whole callee closure), nil-safe telemetry
+// hooks, unit-safe cycle/time conversions (typed and name-inferred),
+// documented panics, sentinel-error wrapping, the batch.For per-index
+// write discipline, and run-config seed provenance. The
+// interprocedural analyzers run on a whole-program layer (program.go:
+// call graph + function index; cfg.go: per-function control-flow
+// graphs with a worklist dataflow solver; ssa.go: an SSA form) built
+// once per Run; the concurrency analyzers (lockorder, goleak,
+// chandiscipline) additionally consume an Andersen-style points-to
+// solution (pointsto.go) and a happens-before graph (hb.go) resolving
+// which concrete mutexes and channels each operation touches. An
+// incremental fact cache (factcache.go) replays findings for
+// unchanged packages across runs. See DESIGN.md §9 for the rationale
+// and the suppression syntax.
 package analysis
 
 import (
@@ -27,6 +34,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one named analysis pass.
@@ -142,8 +150,33 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // the error-free packages are indexed into one Program — the call
 // graph and function index the interprocedural analyzers traverse.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runPasses(pkgs, analyzers, nil, nil, nil)
+}
+
+// RunTimed is Run with wall-time accounting: when timings is non-nil,
+// each analyzer's total across all packages accumulates under its name
+// (plus "program" for the whole-program index build).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, timings map[string]time.Duration) []Diagnostic {
+	return runPasses(pkgs, analyzers, nil, nil, timings)
+}
+
+// runPasses is the engine behind Run and the fact cache. skip, when it
+// returns ok, replays previously computed diagnostics for a
+// (package, analyzer) pass instead of running it; record observes each
+// pass's fresh diagnostics (internalErr flags an analyzer failure, whose
+// output must not be cached).
+func runPasses(
+	pkgs []*Package, analyzers []*Analyzer,
+	skip func(pkg *Package, a *Analyzer) ([]Diagnostic, bool),
+	record func(pkg *Package, a *Analyzer, diags []Diagnostic, internalErr bool),
+	timings map[string]time.Duration,
+) []Diagnostic {
 	var out []Diagnostic
+	progStart := time.Now()
 	prog := buildProgram(pkgs)
+	if timings != nil {
+		timings["program"] += time.Since(progStart)
+	}
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			for _, err := range pkg.Errors {
@@ -156,6 +189,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			continue
 		}
 		for _, a := range analyzers {
+			if skip != nil {
+				if cached, ok := skip(pkg, a); ok {
+					out = append(out, cached...)
+					continue
+				}
+			}
+			var got []Diagnostic
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
@@ -165,17 +205,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				PkgPath:    pkg.PkgPath,
 				Prog:       prog,
 				directives: prog.directives,
-				report:     func(d Diagnostic) { out = append(out, d) },
+				report:     func(d Diagnostic) { got = append(got, d) },
 			}
-			if err := a.Run(pass); err != nil {
-				out = append(out, Diagnostic{
+			start := time.Now()
+			err := a.Run(pass)
+			if timings != nil {
+				timings[a.Name] += time.Since(start)
+			}
+			internalErr := err != nil
+			if internalErr {
+				got = append(got, Diagnostic{
 					Pos:      token.Position{Filename: pkg.Dir},
 					Analyzer: a.Name,
 					Message:  fmt.Sprintf("internal analyzer error: %v", err),
 				})
 			}
+			out = append(out, got...)
+			if record != nil {
+				record(pkg, a, got, internalErr)
+			}
 		}
 	}
+	sortDiags(out)
+	return out
+}
+
+// sortDiags orders diagnostics by position, then analyzer, then
+// message — a total order, so cached replays and fresh runs always
+// render byte-identically.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -187,9 +245,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // pathSegment reports whether one of path's slash-separated segments

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Chandiscipline audits the close-site discipline of every channel
+// allocation the points-to solver can account for completely (the
+// channel never escapes to unanalyzed code):
+//
+//   - single closing owner: all close sites on one channel object must
+//     live in one function; a second closing function — or a second
+//     close the first one can reach — is the double-close panic
+//     waiting for the right interleaving;
+//   - no send after a dominating close: within a function, a send
+//     every path to which passes a close of the same object panics
+//     unconditionally;
+//   - live receives: a receive from a channel with no send site and no
+//     close site anywhere blocks forever (or, as a select case, can
+//     never fire).
+//
+// Escaped channels — stored through interfaces, passed to external
+// packages (signal.Notify), or otherwise visible to code outside the
+// analysis — are exempt from all three rules.
+var Chandiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: "every channel needs a single closing owner, no send may " +
+		"follow a dominating close, and receives need a live sender " +
+		"or closer somewhere",
+	Run: runChandiscipline,
+}
+
+// chanIndex is the memoized whole-program chandiscipline result.
+type chanIndex struct {
+	hb       *hbGraph
+	findings []concFinding
+	// evBlock locates each event's CFG block within its body.
+	evBlock map[int]int
+}
+
+// chanIndexOf builds (once per Program) the channel-discipline facts.
+func (prog *Program) chanIndexOf() *chanIndex {
+	if prog.chanIdx != nil {
+		return prog.chanIdx
+	}
+	g := prog.hb()
+	ci := &chanIndex{hb: g, evBlock: make(map[int]int)}
+	prog.chanIdx = ci
+	for _, key := range g.bodies() {
+		b := g.bodyCFGOf(key)
+		if b == nil {
+			continue
+		}
+		for bi := range b.g.blocks {
+			for _, op := range b.ops[bi] {
+				if op.ev != nil {
+					ci.evBlock[op.ev.id] = bi
+				}
+			}
+		}
+	}
+	ci.auditClosers()
+	ci.auditSendAfterClose()
+	ci.auditDeadReceives()
+	sort.Slice(ci.findings, func(i, j int) bool {
+		a, b := ci.findings[i], ci.findings[j]
+		if a.position.Filename != b.position.Filename {
+			return a.position.Filename < b.position.Filename
+		}
+		if a.position.Line != b.position.Line {
+			return a.position.Line < b.position.Line
+		}
+		return a.msg < b.msg
+	})
+	return ci
+}
+
+func (ci *chanIndex) report(pos token.Pos, format string, args ...any) {
+	position := ci.hb.prog.Pkgs[0].Fset.Position(pos)
+	ci.findings = append(ci.findings, concFinding{pos: pos, position: position, msg: fmt.Sprintf(format, args...)})
+}
+
+// accountedChans returns the channel objects whose whole endpoint set
+// is visible: unescaped channel allocation sites, in id order.
+func (ci *chanIndex) accountedChans() []int {
+	pt := ci.hb.pt
+	var out []int
+	for id, loc := range pt.locs {
+		if loc.kind != locAlloc || loc.escaped || loc.typ == nil {
+			continue
+		}
+		if _, ok := loc.typ.Underlying().(*types.Chan); !ok {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// auditClosers enforces the single-closing-owner rule.
+func (ci *chanIndex) auditClosers() {
+	g := ci.hb
+	for _, o := range ci.accountedChans() {
+		closes := append([]*hbEvent(nil), g.closes[o]...)
+		if len(closes) < 2 {
+			continue
+		}
+		sort.Slice(closes, func(i, j int) bool {
+			if closes[i].pos.Filename != closes[j].pos.Filename {
+				return closes[i].pos.Filename < closes[j].pos.Filename
+			}
+			return closes[i].pos.Line < closes[j].pos.Line
+		})
+		owner := bodyKeyOf(closes[0])
+		site := g.pt.locs[o].pos
+		for _, c := range closes[1:] {
+			if bodyKeyOf(c) != owner {
+				ci.report(c.node.Pos(),
+					"channel created at %s:%d is closed here but %s already closes it at line %d: a channel needs a single closing owner",
+					filepathBase(site.Filename), site.Line, ownerName(closes[0]), closes[0].pos.Line)
+			}
+		}
+		// Within one body: a close reachable from another close is a
+		// runtime double close.
+		byBody := make(map[hbBodyKey][]*hbEvent)
+		for _, c := range closes {
+			byBody[bodyKeyOf(c)] = append(byBody[bodyKeyOf(c)], c)
+		}
+		for key, evs := range byBody {
+			if len(evs) < 2 {
+				continue
+			}
+			b := g.bodyCFGOf(key)
+			if b == nil {
+				continue
+			}
+			for _, c1 := range evs {
+				for _, c2 := range evs {
+					if c1 == c2 {
+						continue
+					}
+					b1, ok1 := ci.evBlock[c1.id]
+					b2, ok2 := ci.evBlock[c2.id]
+					if !ok1 || !ok2 {
+						continue
+					}
+					if (b1 == b2 && c1.node.Pos() < c2.node.Pos()) || (b1 != b2 && cfgReaches(b.g, b1, b2)) {
+						ci.report(c2.node.Pos(),
+							"channel may already be closed here: the close at line %d can precede this one (double close panics)",
+							c1.pos.Line)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ownerName renders the function owning an event.
+func ownerName(ev *hbEvent) string {
+	if ev.lit != nil {
+		return fmt.Sprintf("a literal in %s", ev.fn.Fn.Name())
+	}
+	return ev.fn.Fn.Name()
+}
+
+// auditSendAfterClose reports sends dominated by a close of the same
+// object within one body.
+func (ci *chanIndex) auditSendAfterClose() {
+	g := ci.hb
+	for _, o := range ci.accountedChans() {
+		if len(g.closes[o]) == 0 || len(g.sends[o]) == 0 {
+			continue
+		}
+		for _, s := range g.sends[o] {
+			sKey := bodyKeyOf(s)
+			b := g.bodyCFGOf(sKey)
+			if b == nil {
+				continue
+			}
+			sb, ok := ci.evBlock[s.id]
+			if !ok {
+				continue
+			}
+			dom := b.dominators()
+			for _, c := range g.closes[o] {
+				if bodyKeyOf(c) != sKey {
+					continue
+				}
+				cb, ok := ci.evBlock[c.id]
+				if !ok {
+					continue
+				}
+				if (cb == sb && c.node.Pos() < s.node.Pos()) || (cb != sb && dom.dominates(cb, sb)) {
+					ci.report(s.node.Pos(),
+						"send on a channel closed at line %d: every path here passes the close, this send always panics",
+						c.pos.Line)
+					break
+				}
+			}
+		}
+	}
+}
+
+// auditDeadReceives reports receives whose every possible channel has
+// no sender and no closer anywhere.
+func (ci *chanIndex) auditDeadReceives() {
+	g := ci.hb
+	pt := g.pt
+	for _, ev := range g.events {
+		if ev.kind != evChanRecv || len(ev.objs) == 0 {
+			continue
+		}
+		dead := true
+		for _, o := range ev.objs {
+			loc := pt.locs[o]
+			if pt.escapedLoc(o) || loc.kind != locAlloc ||
+				len(g.sends[o]) > 0 || len(g.closes[o]) > 0 {
+				dead = false
+				break
+			}
+		}
+		if !dead {
+			continue
+		}
+		if ev.inSelect {
+			ci.report(ev.node.Pos(),
+				"receive case on a channel that is never sent to or closed: this case can never fire")
+		} else {
+			ci.report(ev.node.Pos(),
+				"receive on a channel that is never sent to or closed: blocks forever")
+		}
+	}
+}
+
+func runChandiscipline(pass *Pass) error {
+	if pass.Prog == nil || len(pass.Prog.Pkgs) == 0 {
+		return nil
+	}
+	ci := pass.Prog.chanIndexOf()
+	inPass := passFiles(pass)
+	for _, f := range ci.findings {
+		if inPass[f.position.Filename] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}

@@ -35,6 +35,12 @@ import (
 //	                                         analyzer checks its
 //	                                         open/store/release or
 //	                                         load/recheck shape
+//	//meccvet:lockorder [-- reason]          (acquire line) this lock
+//	                                         acquisition is part of an
+//	                                         intentional hierarchy: its
+//	                                         order-graph edges and
+//	                                         double-acquire checks are
+//	                                         exempt (lockorder analyzer)
 const (
 	verbAllow     = "allow"
 	verbHotpath   = "hotpath"
@@ -43,6 +49,7 @@ const (
 	verbQuiescent = "quiescent"
 	verbSeed      = "seed"
 	verbSeqlock   = "seqlock"
+	verbLockorder = "lockorder"
 )
 
 const directivePrefix = "//meccvet:"

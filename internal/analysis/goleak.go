@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Goleak flags goroutines that can never terminate: spawned bodies
+// whose every path from entry to return passes through an operation
+// that provably blocks forever, and WaitGroup waits whose Add/Done
+// accounting cannot reach zero. "Provably" leans on the points-to
+// solver: a receive blocks forever only when every channel object the
+// operand may denote is unescaped (no external code can touch it) and
+// has no send or close site anywhere in the program; a send, only when
+// every object is an unbuffered make site with no receive sites; a
+// Wait, only when the group is unescaped with Add sites but no Done
+// site at all. Channels handed to unknown code (signal.Notify's quit
+// channels, anything stored through an interface) are escaped and
+// never reported.
+//
+// The Add/Done delta check is deliberately narrow — it fires only when
+// every Add on the group sits in the waiting function with a constant
+// argument outside any loop, and every Done is attributable: either
+// direct in the same function or exactly one Done inside a goroutine
+// body spawned (outside any loop) from it. Worker pools that Add per
+// item in a loop, or Done through a shared helper, fall outside the
+// shape and stay silent rather than guessed at.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc: "a spawned goroutine must have at least one non-blocking path " +
+		"to termination, and WaitGroup Add/Done deltas must balance " +
+		"where they are statically attributable",
+	Run: runGoleak,
+}
+
+// leakIndex is the memoized whole-program goleak result.
+type leakIndex struct {
+	hb       *hbGraph
+	findings []concFinding
+}
+
+// leakIndexOf builds (once per Program) the goleak facts.
+func (prog *Program) leakIndexOf() *leakIndex {
+	if prog.leakIdx != nil {
+		return prog.leakIdx
+	}
+	g := prog.hb()
+	li := &leakIndex{hb: g}
+	prog.leakIdx = li
+	for _, ev := range g.goSites {
+		li.checkSpawn(ev)
+	}
+	for _, ev := range g.events {
+		if ev.kind == evWgWait {
+			li.checkWait(ev)
+		}
+	}
+	sort.Slice(li.findings, func(i, j int) bool {
+		a, b := li.findings[i], li.findings[j]
+		if a.position.Filename != b.position.Filename {
+			return a.position.Filename < b.position.Filename
+		}
+		if a.position.Line != b.position.Line {
+			return a.position.Line < b.position.Line
+		}
+		return a.msg < b.msg
+	})
+	return li
+}
+
+func (li *leakIndex) report(pos token.Pos, format string, args ...any) {
+	position := li.hb.prog.Pkgs[0].Fset.Position(pos)
+	li.findings = append(li.findings, concFinding{pos: pos, position: position, msg: fmt.Sprintf(format, args...)})
+}
+
+// blockReason explains why an event blocks forever, or "" when it may
+// proceed.
+func (li *leakIndex) blockReason(ev *hbEvent) string {
+	g := li.hb
+	pt := g.pt
+	allObjs := func(pred func(o int) bool) bool {
+		if len(ev.objs) == 0 {
+			return false
+		}
+		for _, o := range ev.objs {
+			if pt.escapedLoc(o) || !pred(o) {
+				return false
+			}
+		}
+		return true
+	}
+	switch ev.kind {
+	case evSelectEmpty:
+		return "empty select blocks forever"
+	case evChanRecv:
+		if ev.inSelect {
+			return ""
+		}
+		if allObjs(func(o int) bool { return len(g.sends[o]) == 0 && len(g.closes[o]) == 0 }) {
+			return "receive on a channel with no senders and no closers blocks forever"
+		}
+	case evChanSend:
+		if ev.inSelect {
+			return ""
+		}
+		if allObjs(func(o int) bool {
+			return pt.locs[o].chanCap == 0 && len(g.recvs[o]) == 0
+		}) {
+			return "send on an unbuffered channel with no receivers blocks forever"
+		}
+	case evWgWait:
+		if allObjs(func(o int) bool { return len(g.wgAdds[o]) > 0 && len(g.wgDones[o]) == 0 }) {
+			return "Wait on a WaitGroup that is Added but never Done blocks forever"
+		}
+	}
+	return ""
+}
+
+// checkSpawn reports a go statement whose every resolved target body
+// blocks forever on all paths.
+func (li *leakIndex) checkSpawn(ev *hbEvent) {
+	if len(ev.targets) == 0 {
+		return
+	}
+	var witness string
+	var witnessPos token.Position
+	for _, t := range ev.targets {
+		b := li.hb.bodyCFGOf(t)
+		if b == nil {
+			return
+		}
+		blocked := make(map[int]bool)
+		found := false
+		for bi := range b.g.blocks {
+			for _, op := range b.ops[bi] {
+				if op.ev == nil {
+					continue
+				}
+				if reason := li.blockReason(op.ev); reason != "" {
+					blocked[bi] = true
+					if !found || op.ev.pos.Line < witnessPos.Line {
+						witness, witnessPos, found = reason, op.ev.pos, true
+					}
+				}
+			}
+		}
+		if !found || terminalReachableAvoiding(b.g, blocked) {
+			return // this target has a live path; the spawn is fine
+		}
+	}
+	li.report(ev.node.Pos(), "goroutine leaks: every path blocks forever (%s at %s:%d)",
+		witness, filepathBase(witnessPos.Filename), witnessPos.Line)
+}
+
+// bodyKeyOf returns the body key holding an event.
+func bodyKeyOf(ev *hbEvent) hbBodyKey {
+	if ev.lit != nil {
+		return hbBodyKey{lit: ev.lit}
+	}
+	return hbBodyKey{fn: ev.fn.Fn}
+}
+
+// checkWait audits the Add/Done accounting visible from one Wait site.
+func (li *leakIndex) checkWait(w *hbEvent) {
+	g := li.hb
+	pt := g.pt
+	if len(w.objs) != 1 || pt.escapedLoc(w.objs[0]) {
+		return
+	}
+	o := w.objs[0]
+	// Rule (a): Added but never Done anywhere — blockReason covers the
+	// goroutine case; report the Wait site itself for ordinary callers.
+	if len(g.wgAdds[o]) > 0 && len(g.wgDones[o]) == 0 {
+		li.report(w.node.Pos(),
+			"wg.Wait blocks forever: %d Add site(s) on this WaitGroup but no Done anywhere in the program",
+			len(g.wgAdds[o]))
+		return
+	}
+	// Rule (b): constant-delta accounting, only when fully attributable.
+	wKey := bodyKeyOf(w)
+	addSum := 0
+	for _, a := range g.wgAdds[o] {
+		if bodyKeyOf(a) != wKey || a.inLoop || a.delta == deltaUnknown {
+			return
+		}
+		addSum += a.delta
+	}
+	if len(g.wgAdds[o]) == 0 {
+		return // nothing to balance
+	}
+	// Attribute every Done: direct in the waiting body, or exactly one
+	// inside a body spawned from the waiting body outside any loop.
+	doneBodies := make(map[hbBodyKey]int)
+	direct := 0
+	for _, d := range g.wgDones[o] {
+		k := bodyKeyOf(d)
+		if k == wKey {
+			if d.inLoop || d.deferred {
+				return // deferred Done runs after Wait; loops are uncountable
+			}
+			direct++
+			continue
+		}
+		if d.inLoop {
+			return
+		}
+		doneBodies[k]++
+	}
+	for _, cnt := range doneBodies {
+		if cnt != 1 {
+			return // conditional or repeated Done in a goroutine body
+		}
+	}
+	spawnCount := make(map[hbBodyKey]int)
+	for _, gs := range g.goSites {
+		if bodyKeyOf(gs) != wKey {
+			continue
+		}
+		for _, t := range gs.targets {
+			if doneBodies[t] > 0 {
+				if gs.inLoop {
+					return
+				}
+				spawnCount[t]++
+			}
+		}
+	}
+	// A Done-bearing body that is never spawned from here means the
+	// accounting crosses functions; stay silent.
+	spawned := 0
+	for k := range doneBodies {
+		if spawnCount[k] == 0 {
+			return
+		}
+		spawned += spawnCount[k]
+	}
+	doneSum := direct + spawned
+	if doneSum == addSum {
+		return
+	}
+	if doneSum < addSum {
+		li.report(w.node.Pos(),
+			"wg.Wait may block forever: Add calls sum to %d but only %d Done calls are guaranteed",
+			addSum, doneSum)
+	} else {
+		li.report(w.node.Pos(),
+			"WaitGroup misuse: Add calls sum to %d but %d Done calls run (a negative counter panics)",
+			addSum, doneSum)
+	}
+}
+
+func runGoleak(pass *Pass) error {
+	if pass.Prog == nil || len(pass.Prog.Pkgs) == 0 {
+		return nil
+	}
+	li := pass.Prog.leakIndexOf()
+	inPass := passFiles(pass)
+	for _, f := range li.findings {
+		if inPass[f.position.Filename] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}

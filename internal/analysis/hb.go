@@ -1,0 +1,496 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// hb.go builds the program's happens-before graph: every concurrency
+// event (goroutine spawn, channel send/recv/close, WaitGroup Add/Done/
+// Wait, sync.Once.Do, mutex acquire/release) indexed by the concrete
+// objects it touches — resolved through the points-to solver — plus
+// the ordering edges the Go memory model guarantees between them:
+//
+//	po    program order within one function or literal body
+//	go    a go statement precedes the spawned body's first event
+//	ch    a send (or close) on a channel precedes a receive of it
+//	wg    a WaitGroup.Done precedes the matching Wait's return
+//	once  a sync.Once.Do precedes (and runs) its callee's events
+//	mu    a mutex release precedes the next acquire of the same lock
+//
+// The graph itself is goldens-tested (channel pairing across worker
+// pools, lock critical sections); the three concurrency analyzers
+// consume its event index: lockorder walks acquire/release events with
+// a lockset dataflow, goleak matches channel endpoints against spawn
+// sites, chandiscipline audits the close/send/recv sites per channel
+// object.
+
+// hbKind enumerates event kinds.
+type hbKind uint8
+
+const (
+	evGoStart hbKind = iota
+	evChanSend
+	evChanRecv
+	evChanClose
+	evWgAdd
+	evWgDone
+	evWgWait
+	evOnceDo
+	evLockAcq
+	evLockRel
+	evSelectEmpty // select{} with no cases: blocks forever
+)
+
+func (k hbKind) String() string {
+	switch k {
+	case evGoStart:
+		return "go"
+	case evChanSend:
+		return "send"
+	case evChanRecv:
+		return "recv"
+	case evChanClose:
+		return "close"
+	case evWgAdd:
+		return "wg.Add"
+	case evWgDone:
+		return "wg.Done"
+	case evWgWait:
+		return "wg.Wait"
+	case evOnceDo:
+		return "once.Do"
+	case evLockAcq:
+		return "lock"
+	case evLockRel:
+		return "unlock"
+	case evSelectEmpty:
+		return "select{}"
+	}
+	return "?"
+}
+
+// deltaUnknown marks a non-constant WaitGroup.Add argument.
+const deltaUnknown = int(^uint(0)>>1) * -1
+
+// hbEvent is one concurrency operation.
+type hbEvent struct {
+	id   int
+	kind hbKind
+	fn   *FuncInfo    // enclosing declared function
+	lit  *ast.FuncLit // innermost enclosing literal (nil: declared body)
+	node ast.Node     // the operation's syntax
+	pos  token.Position
+	objs []int // points-to locations of the touched object
+
+	delta    int           // evWgAdd: constant argument, deltaUnknown otherwise
+	write    bool          // evLockAcq/Rel: write lock (Lock/Unlock) vs read
+	try      bool          // evLockAcq: TryLock/TryRLock (non-blocking)
+	rwlock   bool          // the object is an RWMutex
+	call     *ast.CallExpr // evGoStart/evOnceDo: the invoked call
+	inSelect bool          // send/recv is a select communication case
+	inLoop   bool          // inside a for/range of the same body
+	deferred bool          // the operation is deferred
+	targets  []hbBodyKey   // evGoStart/evOnceDo: resolved callee bodies
+}
+
+// hbBodyKey identifies one body: a declared function or a literal.
+type hbBodyKey struct {
+	fn  *types.Func
+	lit *ast.FuncLit
+}
+
+// hbEdge is one ordering edge.
+type hbEdge struct {
+	from, to int
+	label    string
+	obj      int // shared object for ch/wg/mu edges (-1 otherwise)
+}
+
+// hbGraph is the assembled happens-before structure.
+type hbGraph struct {
+	prog *Program
+	pt   *ptSolver
+
+	events []*hbEvent
+	edges  []hbEdge
+
+	// per-body event lists in source order
+	bodyEvents map[hbBodyKey][]*hbEvent
+
+	// channel endpoint index, keyed by points-to location
+	sends, recvs, closes map[int][]*hbEvent
+	// WaitGroup site index, keyed by points-to location
+	wgAdds, wgDones, wgWaits map[int][]*hbEvent
+
+	goSites []*hbEvent
+
+	// lazily-built body infrastructure (conc.go)
+	bodyList []hbBodyKey
+	litOwner map[*ast.FuncLit]*FuncInfo
+	bodyCFGs map[hbBodyKey]*bodyCFG
+}
+
+// hb returns (building and memoizing) the whole-program happens-before
+// graph.
+func (prog *Program) hb() *hbGraph {
+	if prog.hbFacts != nil {
+		return prog.hbFacts
+	}
+	g := &hbGraph{
+		prog:       prog,
+		pt:         prog.pointsToSolver(),
+		bodyEvents: make(map[hbBodyKey][]*hbEvent),
+		sends:      make(map[int][]*hbEvent),
+		recvs:      make(map[int][]*hbEvent),
+		closes:     make(map[int][]*hbEvent),
+		wgAdds:     make(map[int][]*hbEvent),
+		wgDones:    make(map[int][]*hbEvent),
+		wgWaits:    make(map[int][]*hbEvent),
+	}
+	prog.hbFacts = g
+	for _, fi := range prog.funcsInOrder {
+		if fi.Decl.Body != nil {
+			g.collect(fi)
+		}
+	}
+	g.link()
+	return g
+}
+
+// chanObjs returns the channel objects an expression may denote.
+func (g *hbGraph) chanObjs(e ast.Expr) []int {
+	return g.pt.pointsTo(e)
+}
+
+// syncObjs returns the identity locations of a sync primitive operand:
+// the denoted locations for a value-typed operand (sync.Mutex field or
+// variable), the pointees for a pointer operand.
+func (g *hbGraph) syncObjs(info *types.Info, e ast.Expr) []int {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return g.pt.pointsTo(e)
+	}
+	return g.pt.lvalLocs(e)
+}
+
+// syncMethod resolves a call to a sync-package method, returning the
+// receiver's named type and method name.
+func syncMethod(info *types.Info, call *ast.CallExpr) (recvType, method string, operand ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	fn, ok := calleeObjectIn(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", "", nil
+	}
+	return named.Obj().Name(), fn.Name(), sel.X
+}
+
+// collect walks one declared body and records its events in source
+// order, tracking the enclosing literal / loop / select / defer
+// context via an ancestor stack.
+func (g *hbGraph) collect(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	fset := fi.Pkg.Fset
+	var stack []ast.Node
+
+	litOf := func() *ast.FuncLit {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if lit, ok := stack[i].(*ast.FuncLit); ok {
+				return lit
+			}
+		}
+		return nil
+	}
+	loopOf := func(lit *ast.FuncLit) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i] == lit && lit != nil {
+				return false
+			}
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			case *ast.FuncLit:
+				return false
+			}
+		}
+		return false
+	}
+	deferredOf := func(n ast.Node) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if ds, ok := stack[i].(*ast.DeferStmt); ok {
+				return ds.Call == n
+			}
+			if _, ok := stack[i].(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		return false
+	}
+	inSelectComm := func(n ast.Node) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if cc, ok := stack[i].(*ast.CommClause); ok {
+				return cc.Comm != nil && cc.Comm.Pos() <= n.Pos() && n.End() <= cc.Comm.End()
+			}
+		}
+		return false
+	}
+
+	add := func(ev *hbEvent) {
+		ev.id = len(g.events)
+		ev.fn = fi
+		ev.lit = litOf()
+		ev.inLoop = loopOf(ev.lit)
+		ev.pos = fset.Position(ev.node.Pos())
+		g.events = append(g.events, ev)
+		key := hbBodyKey{fn: fi.Fn}
+		if ev.lit != nil {
+			key = hbBodyKey{lit: ev.lit}
+		}
+		g.bodyEvents[key] = append(g.bodyEvents[key], ev)
+		switch ev.kind {
+		case evChanSend:
+			for _, o := range ev.objs {
+				g.sends[o] = append(g.sends[o], ev)
+			}
+		case evChanRecv:
+			for _, o := range ev.objs {
+				g.recvs[o] = append(g.recvs[o], ev)
+			}
+		case evChanClose:
+			for _, o := range ev.objs {
+				g.closes[o] = append(g.closes[o], ev)
+			}
+		case evWgAdd:
+			for _, o := range ev.objs {
+				g.wgAdds[o] = append(g.wgAdds[o], ev)
+			}
+		case evWgDone:
+			for _, o := range ev.objs {
+				g.wgDones[o] = append(g.wgDones[o], ev)
+			}
+		case evWgWait:
+			for _, o := range ev.objs {
+				g.wgWaits[o] = append(g.wgWaits[o], ev)
+			}
+		case evGoStart:
+			g.goSites = append(g.goSites, ev)
+		}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			add(&hbEvent{kind: evGoStart, node: x, call: x.Call, targets: g.resolveTargets(info, x.Call)})
+		case *ast.SendStmt:
+			add(&hbEvent{kind: evChanSend, node: x, objs: g.chanObjs(x.Chan), inSelect: inSelectComm(x)})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				add(&hbEvent{kind: evChanRecv, node: x, objs: g.chanObjs(x.X), inSelect: inSelectComm(x)})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					add(&hbEvent{kind: evChanRecv, node: x, objs: g.chanObjs(x.X)})
+				}
+			}
+		case *ast.SelectStmt:
+			if len(x.Body.List) == 0 {
+				add(&hbEvent{kind: evSelectEmpty, node: x})
+			}
+		case *ast.CallExpr:
+			if b, ok := calleeObjectIn(info, x).(*types.Builtin); ok && b.Name() == "close" && len(x.Args) == 1 {
+				add(&hbEvent{kind: evChanClose, node: x, objs: g.chanObjs(x.Args[0])})
+				break
+			}
+			rt, m, op := syncMethod(info, x)
+			if op == nil {
+				break
+			}
+			switch {
+			case (rt == "Mutex" || rt == "RWMutex") && (m == "Lock" || m == "TryLock"):
+				add(&hbEvent{kind: evLockAcq, node: x, objs: g.syncObjs(info, op), write: true, rwlock: rt == "RWMutex", try: m == "TryLock"})
+			case rt == "RWMutex" && (m == "RLock" || m == "TryRLock"):
+				add(&hbEvent{kind: evLockAcq, node: x, objs: g.syncObjs(info, op), rwlock: true, try: m == "TryRLock"})
+			case (rt == "Mutex" || rt == "RWMutex") && m == "Unlock":
+				add(&hbEvent{kind: evLockRel, node: x, objs: g.syncObjs(info, op), write: true, rwlock: rt == "RWMutex", deferred: deferredOf(x)})
+			case rt == "RWMutex" && m == "RUnlock":
+				add(&hbEvent{kind: evLockRel, node: x, objs: g.syncObjs(info, op), rwlock: true, deferred: deferredOf(x)})
+			case rt == "WaitGroup" && m == "Add":
+				delta := deltaUnknown
+				if len(x.Args) == 1 {
+					if tv, ok := info.Types[x.Args[0]]; ok && tv.Value != nil {
+						if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+							delta = int(c)
+						}
+					}
+				}
+				add(&hbEvent{kind: evWgAdd, node: x, objs: g.syncObjs(info, op), delta: delta})
+			case rt == "WaitGroup" && m == "Done":
+				add(&hbEvent{kind: evWgDone, node: x, objs: g.syncObjs(info, op), deferred: deferredOf(x)})
+			case rt == "WaitGroup" && m == "Wait":
+				add(&hbEvent{kind: evWgWait, node: x, objs: g.syncObjs(info, op)})
+			case rt == "Once" && m == "Do":
+				ev := &hbEvent{kind: evOnceDo, node: x, objs: g.syncObjs(info, op), call: x}
+				if len(x.Args) == 1 {
+					ev.targets = g.resolveTargets(info, &ast.CallExpr{Fun: x.Args[0]})
+				}
+				add(ev)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// resolveTargets resolves the bodies a call (or function value) may
+// invoke: literal and static targets directly, dynamic ones through
+// the points-to sets. An empty result means the target is unknown.
+func (g *hbGraph) resolveTargets(info *types.Info, call *ast.CallExpr) []hbBodyKey {
+	fun := ast.Unparen(call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		return []hbBodyKey{{lit: lit}}
+	}
+	if fn, ok := calleeObjectIn(info, call).(*types.Func); ok {
+		if g.prog.FuncOf(fn) != nil {
+			return []hbBodyKey{{fn: fn}}
+		}
+		return nil
+	}
+	var out []hbBodyKey
+	for _, l := range g.pt.pointsTo(fun) {
+		loc := g.pt.locs[l]
+		switch {
+		case loc.kind == locAlloc && loc.lit != nil:
+			out = append(out, hbBodyKey{lit: loc.lit})
+		case loc.kind == locAlloc && loc.fn != nil:
+			out = append(out, hbBodyKey{fn: loc.fn})
+		default:
+			return nil // an unknown member voids the resolution
+		}
+	}
+	return out
+}
+
+// link materializes the ordering edges.
+func (g *hbGraph) link() {
+	edge := func(from, to *hbEvent, label string, obj int) {
+		g.edges = append(g.edges, hbEdge{from: from.id, to: to.id, label: label, obj: obj})
+	}
+	// Program order within each body.
+	for _, evs := range g.bodyEvents {
+		for i := 0; i+1 < len(evs); i++ {
+			edge(evs[i], evs[i+1], "po", -1)
+		}
+	}
+	// Spawn and once edges to the target body's first event.
+	for _, ev := range g.events {
+		if ev.kind != evGoStart && ev.kind != evOnceDo {
+			continue
+		}
+		for _, t := range ev.targets {
+			if evs := g.bodyEvents[t]; len(evs) > 0 {
+				label := "go"
+				if ev.kind == evOnceDo {
+					label = "once"
+				}
+				edge(ev, evs[0], label, -1)
+			}
+		}
+	}
+	// Communication edges per shared, non-escaped object.
+	pair := func(froms, tos map[int][]*hbEvent, label string) {
+		objs := make([]int, 0, len(froms))
+		for o := range froms {
+			objs = append(objs, o)
+		}
+		sort.Ints(objs)
+		for _, o := range objs {
+			if g.pt.escapedLoc(o) {
+				continue
+			}
+			for _, f := range froms[o] {
+				for _, t := range tos[o] {
+					edge(f, t, label, o)
+				}
+			}
+		}
+	}
+	pair(g.sends, g.recvs, "ch")
+	pair(g.closes, g.recvs, "ch")
+	pair(g.wgDones, g.wgWaits, "wg")
+	// Mutex edges: release before the next acquire of the same lock.
+	rels := make(map[int][]*hbEvent)
+	acqs := make(map[int][]*hbEvent)
+	for _, ev := range g.events {
+		m := rels
+		if ev.kind == evLockAcq {
+			m = acqs
+		} else if ev.kind != evLockRel {
+			continue
+		}
+		for _, o := range ev.objs {
+			m[o] = append(m[o], ev)
+		}
+	}
+	pair(rels, acqs, "mu")
+}
+
+// eventString renders one event for goldens and diagnostics.
+func (g *hbGraph) eventString(ev *hbEvent) string {
+	return fmt.Sprintf("%s@%s:%d", ev.kind, filepathBase(ev.pos.Filename), ev.pos.Line)
+}
+
+// filepathBase is a dependency-free filepath.Base for display paths.
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// Dump renders the graph's edges for one package, sorted — the golden
+// test surface.
+func (g *hbGraph) Dump(pkgPath string) []string {
+	var out []string
+	for _, e := range g.edges {
+		from, to := g.events[e.from], g.events[e.to]
+		if from.fn.Pkg.PkgPath != pkgPath && to.fn.Pkg.PkgPath != pkgPath {
+			continue
+		}
+		line := fmt.Sprintf("%s -%s-> %s", g.eventString(from), e.label, g.eventString(to))
+		if e.obj >= 0 {
+			line += " [" + g.pt.locString(e.obj) + "]"
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}

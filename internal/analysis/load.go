@@ -66,9 +66,20 @@ type listPkg struct {
 // Cgo is disabled for the enumeration so that every dependency is pure
 // Go and can be checked from source.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	metas, err := goList(dir, patterns)
+	order, _, err := loadMetas(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	return checkAll(order), nil
+}
+
+// loadMetas runs the metadata half of Load — enumeration and
+// topological ordering, no parsing or type-checking — so the fact
+// cache can decide whether a sweep even needs the expensive half.
+func loadMetas(dir string, patterns []string) ([]*listPkg, map[string]*listPkg, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
 	}
 	byPath := make(map[string]*listPkg, len(metas))
 	for _, m := range metas {
@@ -76,9 +87,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	order, err := topoOrder(metas, byPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return order, byPath, nil
+}
 
+// checkAll parses and type-checks an already-ordered package list.
+func checkAll(order []*listPkg) []*Package {
 	fset := token.NewFileSet()
 	built := make(map[string]*types.Package, len(order))
 	imp := &mapImporter{built: built}
@@ -90,7 +105,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	return out, nil
+	return out
 }
 
 // Roots filters a Load result down to the packages named by the

@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder tracks mutex locksets through every function's control
+// flow and across call edges, and audits the global lock-acquisition
+// order. It reports two deadlock shapes the run-time layers can only
+// hit, never prove absent:
+//
+//   - double acquisition: a path on which a non-reentrant sync.Mutex
+//     (or the write side of an RWMutex) is acquired while already
+//     held — directly (`mu.Lock(); mu.Lock()`) or through a callee
+//     that re-locks the same object, resolved via points-to identity;
+//   - lock order inversion: the global graph whose edges are "lock
+//     class A was held while acquiring lock class B" contains a cycle,
+//     including the single-class cycle of nesting two instances of the
+//     same class with no canonical order.
+//
+// Lock classes name the declaration site (`pkg.Type.field` for a
+// mutex field, `pkg.var` for a package-level mutex), so an inversion
+// between two *instances* still closes the class cycle. Intentional
+// hierarchies are annotated at the acquisition site with
+// `//meccvet:lockorder -- reason`, which exempts that site's edges
+// from the cycle audit (and the site from double-acquire reports);
+// plain `//meccvet:allow lockorder` suppresses a finding at its
+// reported position.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "no path may re-acquire a held non-reentrant mutex, and the " +
+		"global lock-acquisition-order graph must be acyclic " +
+		"(//meccvet:lockorder exempts an intentional hierarchy)",
+	Run: runLockorder,
+}
+
+// lockAcq is one lock-acquisition fact: either an acquire event in the
+// body under analysis or a transitive acquire reached through calls.
+type lockAcq struct {
+	objs   []int  // points-to identity of the mutex word
+	write  bool   // Lock vs RLock
+	try    bool   // TryLock: cannot self-deadlock
+	class  string // declaration-site class name
+	path   string // syntactic operand path (intra-body identity)
+	root   types.Object
+	pos    token.Position
+	node   ast.Node
+	exempt bool // //meccvet:lockorder at the acquisition site
+}
+
+// lockEdge is one order-graph edge: `to` acquired while `from` held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos      // program point closing the edge
+	position token.Position // same, resolved
+	heldPos  token.Position // where the held lock was acquired
+	exempt   bool
+}
+
+// concFinding is a deferred diagnostic of a program-wide analyzer,
+// reported later by the pass owning its file.
+type concFinding struct {
+	pos      token.Pos
+	position token.Position
+	msg      string
+}
+
+// lockIndex is the memoized whole-program lockorder result.
+type lockIndex struct {
+	hb        *hbGraph
+	summaries map[hbBodyKey]*lockSummary
+	edges     []lockEdge
+	findings  []concFinding
+}
+
+// lockSummary is the set of locks a body may acquire, directly or
+// through its static and resolved-dynamic callees.
+type lockSummary struct {
+	acquires []lockAcq
+}
+
+// lockIndexOf builds (once per Program) the lockorder facts.
+func (prog *Program) lockIndexOf() *lockIndex {
+	if prog.lockIdx != nil {
+		return prog.lockIdx
+	}
+	li := &lockIndex{hb: prog.hb(), summaries: make(map[hbBodyKey]*lockSummary)}
+	prog.lockIdx = li
+	for _, key := range li.hb.bodies() {
+		li.analyzeBody(key)
+	}
+	li.auditCycles()
+	sort.Slice(li.findings, func(i, j int) bool {
+		a, b := li.findings[i], li.findings[j]
+		if a.position.Filename != b.position.Filename {
+			return a.position.Filename < b.position.Filename
+		}
+		if a.position.Line != b.position.Line {
+			return a.position.Line < b.position.Line
+		}
+		return a.msg < b.msg
+	})
+	return li
+}
+
+// acqFromEvent converts one acquire event into a fact.
+func (li *lockIndex) acqFromEvent(ev *hbEvent) lockAcq {
+	operand := lockOperand(ev.node)
+	info := ev.fn.Pkg.Info
+	a := lockAcq{
+		objs:  ev.objs,
+		write: ev.write,
+		try:   ev.try,
+		pos:   ev.pos,
+		node:  ev.node,
+		class: lockClass(ev.fn, operand),
+	}
+	if operand != nil {
+		a.path = types.ExprString(ast.Unparen(operand))
+		a.root = rootObject(info, operand)
+	}
+	a.exempt = directiveAtLine(li.hb.prog.directives, verbLockorder, ev.pos)
+	return a
+}
+
+// lockOperand extracts the receiver operand of a Lock-family call.
+func lockOperand(n ast.Node) ast.Expr {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// lockClass names the declaration site of a mutex operand:
+// pkg.Type.field for a field, pkg.var for a package variable,
+// pkg.func.var for a local, falling back to the source position.
+func lockClass(fi *FuncInfo, operand ast.Expr) string {
+	pkgName := fi.Pkg.Types.Name()
+	if operand != nil {
+		switch x := ast.Unparen(operand).(type) {
+		case *ast.SelectorExpr:
+			if t := fi.Pkg.Info.TypeOf(x.X); t != nil {
+				if named, ok := derefType(t).(*types.Named); ok {
+					owner := named.Obj()
+					p := pkgName
+					if owner.Pkg() != nil {
+						p = owner.Pkg().Name()
+					}
+					return p + "." + owner.Name() + "." + x.Sel.Name
+				}
+			}
+		case *ast.Ident:
+			if obj := fi.Pkg.Info.ObjectOf(x); obj != nil {
+				if obj.Parent() == fi.Pkg.Types.Scope() {
+					return pkgName + "." + x.Name
+				}
+				return pkgName + "." + fi.Fn.Name() + "." + x.Name
+			}
+		}
+	}
+	pos := fi.Pkg.Fset.Position(fi.Decl.Pos())
+	return fmt.Sprintf("%s.%s@%d", pkgName, fi.Fn.Name(), pos.Line)
+}
+
+// rootObject resolves the base identifier of a selector chain.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// summary returns the transitive acquire set of one body; cycles in
+// the call graph resolve through the in-progress (empty) entry.
+func (li *lockIndex) summary(key hbBodyKey) *lockSummary {
+	if s, ok := li.summaries[key]; ok {
+		return s
+	}
+	s := &lockSummary{}
+	li.summaries[key] = s
+	b := li.hb.bodyCFGOf(key)
+	if b == nil {
+		return s
+	}
+	seen := make(map[string]bool)
+	add := func(a lockAcq) {
+		k := a.class + "|" + a.pos.String()
+		if !seen[k] {
+			seen[k] = true
+			s.acquires = append(s.acquires, a)
+		}
+	}
+	for bi := range b.g.blocks {
+		for _, op := range b.ops[bi] {
+			if op.ev != nil && op.ev.kind == evLockAcq && !op.ev.deferred {
+				add(li.acqFromEvent(op.ev))
+			}
+			for _, t := range op.targets {
+				for _, a := range li.summary(t).acquires {
+					add(a)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// sameLockIntra reports whether two acquisition facts in one body name
+// the same mutex word: a syntactically identical operand rooted at the
+// same variable.
+func sameLockIntra(a, b lockAcq) bool {
+	return a.root != nil && a.root == b.root && a.path == b.path
+}
+
+// sameLockInter reports whether a held lock and a callee's acquire
+// resolve to the same single object through points-to: both identity
+// sets are the same non-escaped singleton.
+func (li *lockIndex) sameLockInter(held, callee lockAcq) bool {
+	if len(held.objs) != 1 || len(callee.objs) != 1 || held.objs[0] != callee.objs[0] {
+		return false
+	}
+	return !li.hb.pt.escapedLoc(held.objs[0])
+}
+
+// analyzeBody runs the lockset dataflow over one body, collecting
+// double-acquire findings and order-graph edges.
+func (li *lockIndex) analyzeBody(key hbBodyKey) {
+	b := li.hb.bodyCFGOf(key)
+	if b == nil {
+		return
+	}
+	n := len(b.g.blocks)
+	if n == 0 {
+		return
+	}
+	type lockset map[int]lockAcq // keyed by event id
+	ins := make([]lockset, n)
+	for i := range ins {
+		ins[i] = lockset{}
+	}
+	transfer := func(bi int, in lockset, report bool) lockset {
+		out := make(lockset, len(in))
+		for k, v := range in {
+			out[k] = v
+		}
+		heldSorted := func() []int {
+			ids := make([]int, 0, len(out))
+			for id := range out {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			return ids
+		}
+		for _, op := range b.ops[bi] {
+			switch {
+			case op.ev != nil && op.ev.kind == evLockAcq && !op.ev.deferred:
+				a := li.acqFromEvent(op.ev)
+				for _, hid := range heldSorted() {
+					h := out[hid]
+					if report && !a.try && (h.write || a.write) && !h.exempt && !a.exempt && sameLockIntra(h, a) {
+						li.report(op.ev.node.Pos(),
+							"%s locked at line %d is locked again on the same path: sync mutexes are not reentrant, this deadlocks",
+							a.path, h.pos.Line)
+					}
+					if report && (h.class != a.class || !sameLockIntra(h, a)) {
+						li.edges = append(li.edges, lockEdge{
+							from: h.class, to: a.class,
+							pos: op.ev.node.Pos(), position: a.pos, heldPos: h.pos,
+							exempt: h.exempt || a.exempt,
+						})
+					}
+				}
+				out[op.ev.id] = a
+			case op.ev != nil && op.ev.kind == evLockRel && !op.ev.deferred:
+				rel := lockAcq{objs: op.ev.objs, write: op.ev.write}
+				operand := lockOperand(op.ev.node)
+				if operand != nil {
+					rel.path = types.ExprString(ast.Unparen(operand))
+					rel.root = rootObject(op.ev.fn.Pkg.Info, operand)
+				}
+				for id, h := range out {
+					if h.write != rel.write {
+						continue
+					}
+					if sameLockIntra(h, rel) || li.sameLockInter(h, rel) {
+						delete(out, id)
+					}
+				}
+			case op.call != nil:
+				for _, t := range op.targets {
+					for _, a := range li.summary(t).acquires {
+						for _, hid := range heldSorted() {
+							h := out[hid]
+							if h.exempt || a.exempt {
+								continue
+							}
+							if report && !a.try && (h.write || a.write) && li.sameLockInter(h, a) {
+								li.report(op.call.Pos(),
+									"call into %s re-acquires %s (at %s:%d) while it is already held (locked at line %d): deadlock",
+									calleeName(t), a.class, filepathBase(a.pos.Filename), a.pos.Line, h.pos.Line)
+							}
+							if report && h.class != a.class {
+								li.edges = append(li.edges, lockEdge{
+									from: h.class, to: a.class,
+									pos: op.call.Pos(), position: li.fset().Position(op.call.Pos()),
+									heldPos: h.pos, exempt: h.exempt || a.exempt,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+	// Fixpoint: may-hold union join.
+	merge := func(dst lockset, src lockset) bool {
+		changed := false
+		for k, v := range src {
+			if _, ok := dst[k]; !ok {
+				dst[k] = v
+				changed = true
+			}
+		}
+		return changed
+	}
+	// Seed every block: an empty out-set produces no merge change, so
+	// seeding only the entry would leave downstream blocks unprocessed
+	// and their acquires unpropagated.
+	work := make([]int, n)
+	inWork := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		work[i] = i
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		out := transfer(bi, ins[bi], false)
+		for _, succ := range b.g.blocks[bi].succs {
+			if merge(ins[succ], out) && !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	// Reporting sweep over the stable states.
+	for bi := 0; bi < n; bi++ {
+		transfer(bi, ins[bi], true)
+	}
+}
+
+// report appends one finding (positions resolved through the shared
+// file set).
+func (li *lockIndex) report(pos token.Pos, format string, args ...any) {
+	position := li.fset().Position(pos)
+	li.findings = append(li.findings, concFinding{
+		pos:      pos,
+		position: position,
+		msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+func (li *lockIndex) fset() *token.FileSet {
+	return li.hb.prog.Pkgs[0].Fset
+}
+
+// calleeName renders a body key for diagnostics.
+func calleeName(key hbBodyKey) string {
+	if key.fn != nil {
+		return key.fn.Name()
+	}
+	return "a function literal"
+}
+
+// auditCycles finds cycles in the class-level order graph and reports
+// each non-exempt edge participating in one.
+func (li *lockIndex) auditCycles() {
+	// Dedup edges per (from, to), keeping the first witness.
+	type edgeKey struct{ from, to string }
+	first := make(map[edgeKey]lockEdge)
+	var keys []edgeKey
+	for _, e := range li.edges {
+		if e.exempt {
+			continue
+		}
+		k := edgeKey{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+			keys = append(keys, k)
+		}
+	}
+	succs := make(map[string][]string)
+	for _, k := range keys {
+		succs[k.from] = append(succs[k.from], k.to)
+	}
+	for _, ss := range succs {
+		sort.Strings(ss)
+	}
+	// An edge participates in a cycle iff its head reaches its tail.
+	reaches := func(from, to string) []string {
+		type qe struct {
+			node string
+			via  []string
+		}
+		seen := map[string]bool{from: true}
+		q := []qe{{from, []string{from}}}
+		for len(q) > 0 {
+			cur := q[0]
+			q = q[1:]
+			if cur.node == to {
+				return cur.via
+			}
+			for _, s := range succs[cur.node] {
+				if !seen[s] {
+					seen[s] = true
+					q = append(q, qe{s, append(append([]string{}, cur.via...), s)})
+				}
+			}
+		}
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		e := first[k]
+		if k.from == k.to {
+			li.report(e.pos,
+				"nested acquisition of two %s locks with no canonical order (outer instance locked at line %d): "+
+					"order the instances explicitly or annotate //meccvet:lockorder -- reason",
+				k.from, e.heldPos.Line)
+			continue
+		}
+		if path := reaches(k.to, k.from); path != nil {
+			cycle := append([]string{k.from}, path...)
+			li.report(e.pos,
+				"lock order inversion: %s acquired while holding %s (held since line %d) closes the cycle %s",
+				k.to, k.from, e.heldPos.Line, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+func runLockorder(pass *Pass) error {
+	if pass.Prog == nil || len(pass.Prog.Pkgs) == 0 {
+		return nil
+	}
+	li := pass.Prog.lockIndexOf()
+	inPass := passFiles(pass)
+	for _, f := range li.findings {
+		if inPass[f.position.Filename] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// directiveAtLine reports a //meccvet:<verb> directive on the position's
+// line or the line directly above it, in the same file.
+func directiveAtLine(dirs []directive, verb string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.verb == verb && d.pos.Filename == pos.Filename &&
+			(d.pos.Line == pos.Line || d.pos.Line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

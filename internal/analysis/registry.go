@@ -9,14 +9,17 @@ import (
 func All() []*Analyzer {
 	return []*Analyzer{
 		Atomicfield,
+		Chandiscipline,
 		Concsafety,
 		Cycleunits,
 		Cyclewrap,
 		Determinism,
 		Errwrap,
+		Goleak,
 		Hotclosure,
 		Hotescape,
 		Hotpath,
+		Lockorder,
 		Nilhook,
 		Nopanic,
 		Seedflow,

@@ -1,0 +1,107 @@
+// Package chandisc exercises the chandiscipline analyzer: the
+// single-closing-owner rule (across bodies and the reachable double
+// close within one), sends dominated by a close of the same object,
+// and receives from channels that are never sent to or closed —
+// standalone and as select cases. Entry points stay unexported so the
+// channels remain fully accounted (unescaped).
+package chandisc
+
+func closerHelper(ch chan int) {
+	close(ch)
+}
+
+// Two bodies close the same channel object: whoever closes second in
+// source order is flagged against the owner.
+func crossBodyClose() {
+	ch := make(chan int)
+	go closerHelper(ch)
+	close(ch) // want `a channel needs a single closing owner`
+}
+
+// A second close the first one precedes in the same block.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `double close panics`
+}
+
+// A close reachable from a conditional close: the panic needs only the
+// branch to be taken.
+func branchClose(flush bool) {
+	ch := make(chan int, 1)
+	if flush {
+		close(ch)
+	}
+	close(ch) // want `double close panics`
+}
+
+// Every path to the send passes the close: the send always panics.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `this send always panics`
+}
+
+// Close and send on disjoint arms: neither dominates, no finding.
+func branchSend(flush bool) {
+	ch := make(chan int, 1)
+	if flush {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+	<-ch
+}
+
+// No send site and no close site anywhere: the receive can never
+// complete.
+func deadRecv() {
+	ch := make(chan int)
+	<-ch // want `receive on a channel that is never sent to or closed: blocks forever`
+}
+
+// The same situation as a select case just never fires.
+func deadSelectCase() {
+	dead := make(chan int)
+	live := make(chan int, 1)
+	live <- 0
+	select {
+	case <-dead: // want `receive case on a channel that is never sent to or closed: this case can never fire`
+	case v := <-live:
+		_ = v
+	}
+}
+
+// One owner, one closer body: clean.
+func shutdown(done chan struct{}) {
+	close(done)
+}
+
+func cleanOwner() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	shutdown(done)
+}
+
+// A justified suppression silences the dead-receive rule.
+func suppressedRecv() {
+	ch := make(chan int)
+	//meccvet:allow chandiscipline -- fixture: suppression coverage for the dead-receive rule
+	<-ch
+}
+
+func drive() {
+	crossBodyClose()
+	doubleClose()
+	branchClose(true)
+	sendAfterClose()
+	branchSend(false)
+	deadRecv()
+	deadSelectCase()
+	cleanOwner()
+	suppressedRecv()
+}
+
+var _ = drive

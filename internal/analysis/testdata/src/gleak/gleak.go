@@ -1,0 +1,161 @@
+// Package gleak exercises the goleak analyzer: goroutines whose every
+// path from entry blocks forever (receives and sends with no possible
+// partner, empty selects, both through literals and spawned declared
+// functions), the worker-pool range-leak shape, and the WaitGroup
+// Add/Done accounting rules. Entry points stay unexported so the
+// open-world assumption does not mark the channels escaped.
+package gleak
+
+import "sync"
+
+// A receive with no sender and no closer anywhere: the goroutine can
+// never advance.
+func leakRecv() {
+	ch := make(chan int)
+	go func() { // want `goroutine leaks: every path blocks forever`
+		<-ch
+	}()
+}
+
+// A send on an unbuffered channel nobody ever receives from.
+func leakSend() {
+	ch := make(chan int)
+	go func() { // want `goroutine leaks: every path blocks forever`
+		ch <- 1
+	}()
+}
+
+// select{} has no cases to ever proceed through.
+func leakSelect() {
+	go func() { // want `goroutine leaks: every path blocks forever`
+		select {}
+	}()
+}
+
+// The receive has a live sender: no leak.
+func cleanPair() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}
+
+// A terminating path discharges the report even though the other arm
+// would block forever.
+func cleanBranch(stop bool) {
+	ch := make(chan int)
+	done := make(chan struct{}, 1)
+	go func() {
+		if stop {
+			done <- struct{}{}
+			return
+		}
+		<-ch
+	}()
+	<-done
+}
+
+func blockForever(ch chan int) {
+	<-ch
+}
+
+// The spawned declared function blocks on every path: resolved through
+// the static call target and the channel bound at this go site.
+func leakSpawnFunc() {
+	ch := make(chan int)
+	go blockForever(ch) // want `goroutine leaks: every path blocks forever`
+}
+
+// The worker-pool shape: per-worker span channels that are never
+// closed, so each worker hangs in its range loop forever. This is the
+// closed-world version of the batch.Pool workers (whose exported API
+// keeps them open-world: external callers may still send or close).
+type pool struct {
+	spans []chan int
+}
+
+func newPool() *pool {
+	p := &pool{spans: make([]chan int, 2)}
+	for w := range p.spans {
+		ch := make(chan int, 1)
+		p.spans[w] = ch
+		go func() { // want `goroutine leaks: every path blocks forever`
+			for range ch {
+			}
+		}()
+	}
+	return p
+}
+
+func usePool() {
+	_ = newPool()
+}
+
+// Add with no Done anywhere in the program.
+func waitNoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want `wg\.Wait blocks forever: 1 Add site\(s\) on this WaitGroup but no Done anywhere`
+}
+
+// Two Adds but only one guaranteed Done: the Wait can hang.
+func waitShortDone() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait() // want `wg\.Wait may block forever: Add calls sum to 2 but only 1 Done calls are guaranteed`
+}
+
+// More Dones than Adds panics on the negative counter.
+func waitOverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+	}()
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait() // want `WaitGroup misuse: Add calls sum to 1 but 2 Done calls run`
+}
+
+// Per-item Add inside a loop is outside the attributable shape: the
+// analyzer stays silent rather than guessing the trip count.
+func waitLoop(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// A justified suppression silences the Wait rule at its position.
+func waitSuppressed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//meccvet:allow goleak -- fixture: suppression coverage for the Wait rule
+	wg.Wait()
+}
+
+func drive() {
+	leakRecv()
+	leakSend()
+	leakSelect()
+	cleanPair()
+	cleanBranch(true)
+	leakSpawnFunc()
+	usePool()
+	waitNoDone()
+	waitShortDone()
+	waitOverDone()
+	waitLoop(3)
+	waitSuppressed()
+}
+
+var _ = drive

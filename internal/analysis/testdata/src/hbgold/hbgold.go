@@ -1,0 +1,46 @@
+// Package hbgold is the golden fixture for the happens-before graph:
+// small, deterministic shapes whose full edge lists are pinned by
+// TestHBGolden — a spawn with channel pairing, mutex critical
+// sections, and a WaitGroup fan-out.
+package hbgold
+
+import "sync"
+
+func pipeline() {
+	ch := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		ch <- 1
+		close(done)
+	}()
+	<-ch
+	<-done
+}
+
+func locked() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+func workers() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		wg.Done()
+	}()
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func drive() {
+	pipeline()
+	locked()
+	workers()
+}
+
+var _ = drive

@@ -1,0 +1,208 @@
+// Package lockord exercises the lockorder analyzer: double acquisition
+// of a non-reentrant mutex on a path (directly, across a diamond join,
+// and through a callee resolved by points-to identity), plus cycles in
+// the class-level lock-acquisition-order graph, the same-class nesting
+// rule, and both suppression forms (//meccvet:allow lockorder and the
+// //meccvet:lockorder hierarchy exemption). All entry points are
+// unexported and driven from drive() so the open-world assumption does
+// not blur the points-to sets.
+package lockord
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// Direct double acquisition of the same syntactic lock on one path.
+func deposit(a *account) {
+	a.mu.Lock()
+	a.mu.Lock() // want `a\.mu locked at line \d+ is locked again on the same path`
+	a.bal++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Diamond where only one arm acquires: a path through the locking arm
+// reaches the second acquire with the lock held.
+func diamondHeld(a *account, audit bool) {
+	if audit {
+		a.mu.Lock()
+	}
+	a.mu.Lock() // want `a\.mu locked at line \d+ is locked again on the same path`
+	a.bal++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Diamond where both arms leave the lock released: re-locking after the
+// join is clean.
+func diamondClean(a *account, credit bool) {
+	a.mu.Lock()
+	if credit {
+		a.bal++
+	} else {
+		a.bal--
+	}
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.bal *= 2
+	a.mu.Unlock()
+}
+
+// Lock/unlock cycles in a loop never carry the lock across iterations.
+func loopLock(a *account) {
+	for i := 0; i < 3; i++ {
+		a.mu.Lock()
+		a.bal++
+		a.mu.Unlock()
+	}
+}
+
+func bump(a *account) {
+	a.mu.Lock()
+	a.bal++
+	a.mu.Unlock()
+}
+
+// Interprocedural re-acquire: the callee locks the same object the
+// caller already holds (same non-escaped points-to singleton).
+func double(a *account) {
+	a.mu.Lock()
+	bump(a) // want `call into bump re-acquires lockord\.account\.mu .* while it is already held`
+	a.mu.Unlock()
+}
+
+// Nesting two instances of one class with no canonical order: the
+// symmetric call with swapped arguments would deadlock against this
+// one.
+func transfer(a, b *account, amount int) {
+	a.mu.Lock()
+	b.mu.Lock() // want `nested acquisition of two lockord\.account\.mu locks with no canonical order`
+	a.bal -= amount
+	b.bal += amount
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type journal struct {
+	mu      sync.Mutex
+	entries int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys int
+}
+
+// journal.mu then index.mu: one half of the inversion.
+func record(j *journal, ix *index) {
+	j.mu.Lock()
+	ix.mu.Lock() // want `lock order inversion`
+	ix.keys++
+	j.entries++
+	ix.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// index.mu then journal.mu: closes the class cycle.
+func reindex(j *journal, ix *index) {
+	ix.mu.Lock()
+	j.mu.Lock() // want `lock order inversion`
+	j.entries++
+	ix.keys++
+	j.mu.Unlock()
+	ix.mu.Unlock()
+}
+
+type parent struct {
+	mu   sync.Mutex
+	kids int
+}
+
+type child struct {
+	mu  sync.Mutex
+	gen int
+}
+
+// parent.mu then child.mu is the canonical order.
+func attach(p *parent, c *child) {
+	p.mu.Lock()
+	c.mu.Lock()
+	c.gen++
+	p.kids++
+	c.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// The reverse nesting is declared an intentional hierarchy, so its
+// edge is exempt from the cycle audit and no inversion is reported on
+// either side.
+func detach(p *parent, c *child) {
+	c.mu.Lock()
+	//meccvet:lockorder -- teardown holds the child while unlinking from the parent; attach never runs concurrently with detach
+	p.mu.Lock()
+	p.kids--
+	c.gen++
+	p.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type guarded struct {
+	mu   sync.Mutex
+	n    int
+	tick func()
+}
+
+func newGuarded() *guarded {
+	g := &guarded{}
+	g.tick = func() {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+	return g
+}
+
+// The callee here is a closure stored in a field: the points-to solver
+// devirtualizes g.tick() to the literal, whose summary re-acquires the
+// mutex the caller holds.
+func dynDouble() {
+	g := newGuarded()
+	g.mu.Lock()
+	g.tick() // want `call into a function literal re-acquires lockord\.guarded\.mu .* while it is already held`
+	g.mu.Unlock()
+}
+
+// A plain allow directive suppresses the finding at its position.
+func auditTwice(a *account) {
+	a.mu.Lock()
+	//meccvet:allow lockorder -- fixture: suppression coverage for the double-acquire rule
+	a.mu.Lock()
+	a.bal++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// drive binds every parameter to a concrete allocation so the
+// interprocedural checks see non-escaped singletons.
+func drive() {
+	a, b := &account{}, &account{}
+	deposit(a)
+	diamondHeld(a, true)
+	diamondClean(a, false)
+	loopLock(a)
+	double(a)
+	transfer(a, b, 1)
+	j, ix := &journal{}, &index{}
+	record(j, ix)
+	reindex(j, ix)
+	p, c := &parent{}, &child{}
+	attach(p, c)
+	detach(p, c)
+	dynDouble()
+	auditTwice(b)
+}
+
+var _ = drive

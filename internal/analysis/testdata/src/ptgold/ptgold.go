@@ -1,0 +1,58 @@
+// Package ptgold is the golden fixture for the points-to solver:
+// TestPointsToGolden pins that channel endpoints reached through
+// struct fields and method receivers resolve to the same singleton
+// allocation sites, that make-site capacities are recorded, that a
+// method value spawned with go devirtualizes, and that exported API
+// (open world) marks its reachable objects escaped.
+package ptgold
+
+type hub struct {
+	events chan int
+	stop   chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{
+		events: make(chan int, 4),
+		stop:   make(chan struct{}),
+	}
+}
+
+func (h *hub) run() {
+	for {
+		select {
+		case v := <-h.events:
+			_ = v
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+func (h *hub) publish(v int) {
+	h.events <- v
+}
+
+func (h *hub) shutdown() {
+	close(h.stop)
+}
+
+func drive() {
+	h := newHub()
+	go h.run()
+	h.publish(1)
+	h.shutdown()
+}
+
+var _ = drive
+
+// Box crosses the exported API boundary: tests and importers can reach
+// C, so its channel must be treated as escaped (open world).
+type Box struct {
+	C chan int
+}
+
+// NewBox is exported: its result leaks.
+func NewBox() *Box {
+	return &Box{C: make(chan int)}
+}

@@ -45,6 +45,10 @@ type Pool struct {
 	// (same discipline as the package-level counters): nil reads as
 	// detached and costs one branch per shard.
 	pobs atomic.Pointer[poolCounters]
+	// closed (under mu) makes Close idempotent: the span channels have
+	// exactly one closing owner, and a second Close (a deferred one
+	// after an explicit shutdown) must not double-close them.
+	closed bool
 }
 
 // poolCounters is one consistent set of per-pool/per-worker metrics.
@@ -125,8 +129,15 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // Close stops the worker goroutines. The pool must be idle; Run must
-// not be called afterwards.
+// not be called afterwards. Close is idempotent — a repeated call is a
+// no-op, not a double-close panic.
 func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
 	for _, ch := range p.spans {
 		close(ch)
 	}

@@ -30,6 +30,20 @@ func TestPoolCoversRange(t *testing.T) {
 	}
 }
 
+// TestPoolCloseIdempotent: a second Close (the deferred-plus-explicit
+// shutdown shape) must be a no-op, not a double-close panic on the
+// span channels.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	var count atomic.Int32
+	p.Run(100, 1, func(_, lo, hi int) { count.Add(int32(hi - lo)) })
+	if got := count.Load(); got != 100 {
+		t.Fatalf("visited %d items, want 100", got)
+	}
+	p.Close()
+	p.Close()
+}
+
 // TestPoolShardIndexStable: shard w always receives the same [lo, hi)
 // for fixed (n, minPerWorker), the property per-worker accumulators rely
 // on for bit-identical reduction order.
